@@ -1,0 +1,83 @@
+// Shared plumbing for the per-figure/per-table bench binaries.
+//
+// Every bench accepts:
+//   --quick       Tiny inputs, 1 repetition (CI smoke)
+//   --native      unscaled paper machine + Native inputs (slow)
+//   --reps=N      repetitions (median), default 3 like the paper
+//   --threads=N   foreground thread count (default 4, like the paper)
+//   --csv         append machine-readable CSV after the table
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace coperf::bench {
+
+struct BenchArgs {
+  bool quick = false;
+  bool native = false;
+  bool csv = false;
+  unsigned reps = 3;
+  unsigned threads = 4;
+
+  sim::MachineConfig machine() const {
+    return native ? sim::MachineConfig::paper() : sim::MachineConfig::scaled();
+  }
+  wl::SizeClass size() const {
+    if (quick) return wl::SizeClass::Tiny;
+    return native ? wl::SizeClass::Native : wl::SizeClass::Small;
+  }
+  unsigned effective_reps() const { return quick ? 1 : reps; }
+
+  harness::RunOptions run_options() const {
+    harness::RunOptions o;
+    o.machine = machine();
+    o.size = size();
+    o.threads = threads;
+    return o;
+  }
+
+  Session session() const { return Session{machine(), size()}; }
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      a.quick = true;
+    } else if (arg == "--native") {
+      a.native = true;
+    } else if (arg == "--csv") {
+      a.csv = true;
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      a.reps = static_cast<unsigned>(std::stoul(arg.substr(7)));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      a.threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "flags: --quick --native --csv --reps=N --threads=N\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown flag " << arg << " (see --help)\n";
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+inline void print_config(const BenchArgs& a, const std::string& what) {
+  std::cout << "== coperf bench: " << what << " ==\n"
+            << "   config: "
+            << (a.quick ? "quick (Tiny inputs, 1 rep)"
+                        : (a.native ? "native (paper machine)"
+                                    : "default (scaled machine, Small inputs)"))
+            << ", " << a.effective_reps() << " rep(s), " << a.threads
+            << " threads\n\n";
+}
+
+}  // namespace coperf::bench

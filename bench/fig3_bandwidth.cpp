@@ -1,0 +1,45 @@
+// Fig. 3: memory bandwidth of every application at 1, 4, and 8
+// threads, measured PCM-style over the whole run.
+#include "bench_common.hpp"
+#include "harness/parallel.hpp"
+#include "harness/report.hpp"
+#include "wl/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace coperf;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_config(args, "Fig. 3 -- per-app DRAM bandwidth (GB/s)");
+
+  harness::Table table{{"suite", "workload", "1-thread", "4-thread",
+                        "8-thread"}};
+  std::string csv = "suite,workload,threads,bw_gbs\n";
+  harness::RunOptions opt = args.run_options();
+  const auto workloads = wl::Registry::instance().all();
+  constexpr unsigned kThreadCounts[] = {1, 4, 8};
+  std::vector<double> bw(workloads.size() * 3, 0.0);
+  harness::parallel_for(bw.size(), 0, [&](std::size_t idx) {
+    harness::RunOptions o = opt;
+    o.threads = kThreadCounts[idx % 3];
+    bw[idx] = harness::run_solo_median(workloads[idx / 3]->name, o,
+                                       args.effective_reps())
+                  .avg_bw_gbs;
+  });
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const auto* w = workloads[i];
+    std::vector<std::string> row{w->suite, w->name};
+    for (std::size_t t = 0; t < 3; ++t) {
+      row.push_back(harness::Table::fmt(bw[i * 3 + t], 1));
+      csv += w->suite + "," + w->name + "," +
+             std::to_string(kThreadCounts[t]) + "," +
+             harness::Table::fmt(bw[i * 3 + t], 2) + "\n";
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\n(system practical peak: "
+            << args.machine().peak_bw_gbs << " GB/s; paper anchors @4T: "
+            << "Stream 24.5, Bandit 18, fotonik3d 18.4, IRSmk 18.1, "
+               "G-CC 17.8, CIFAR 7-8)\n";
+  if (args.csv) std::cout << "\n" << csv;
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 5: the full 25x25 co-run heat map -- normalized execution time
+// of every foreground application against every background application
+// (625 pairs, median of N repeated runs), plus the paper's
+// Harmony / Victim-Offender / Both-Victim classification summary.
+#include "bench_common.hpp"
+#include "harness/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace coperf;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_config(args,
+                      "Fig. 5 -- 25x25 co-run normalized-runtime heat map");
+
+  harness::MatrixOptions mo;
+  mo.run = args.run_options();
+  mo.reps = args.effective_reps();
+  const harness::CorunMatrix m = harness::corun_matrix(mo);
+
+  harness::print_heatmap(std::cout, m);
+
+  const auto counts = m.count_classes();
+  std::cout << "\npair classes (threshold " << harness::kVictimThreshold
+            << "x, unordered pairs incl. self):\n"
+            << "  Harmony         : " << counts.harmony << "\n"
+            << "  Victim-Offender : " << counts.victim_offender << "\n"
+            << "  Both-Victim     : " << counts.both_victim << "\n";
+
+  // The paper's named anchor pairs (Section V-A).
+  auto idx = [&](const std::string& w) {
+    for (std::size_t i = 0; i < m.size(); ++i)
+      if (m.workloads[i] == w) return i;
+    return m.size();
+  };
+  struct Anchor {
+    const char* fg;
+    const char* bg;
+    const char* paper;
+  };
+  const Anchor anchors[] = {
+      {"G-CC", "CIFAR", "1.55"},      {"G-CC", "fotonik3d", "1.98"},
+      {"CIFAR", "fotonik3d", "1.52"}, {"fotonik3d", "CIFAR", "1.54"},
+      {"P-PR", "fotonik3d", "~1.5"},  {"IRSmk", "fotonik3d", "1.9"},
+  };
+  std::cout << "\nanchor cells (measured vs. paper):\n";
+  for (const auto& a : anchors) {
+    const std::size_t f = idx(a.fg), b = idx(a.bg);
+    if (f < m.size() && b < m.size())
+      std::cout << "  " << a.fg << " + " << a.bg << " bg: "
+                << harness::Table::fmt(m.at(f, b)) << "x (paper " << a.paper
+                << ")\n";
+  }
+
+  if (args.csv) std::cout << "\n" << harness::matrix_to_csv(m);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 6 (a, b): normalized speedup of all 25 applications co-running
+// with the two mini-benchmarks, Bandit and Stream (each as a 4-thread
+// background stressor). Speedup = t_solo / t_corun (lower = worse).
+#include "bench_common.hpp"
+#include "harness/parallel.hpp"
+#include "harness/report.hpp"
+#include "wl/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace coperf;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_config(args, "Fig. 6 -- co-run with Bandit / Stream");
+
+  harness::Table table{{"suite", "workload", "vs Bandit", "vs Stream"}};
+  std::string csv = "suite,workload,speedup_vs_bandit,speedup_vs_stream\n";
+  const harness::RunOptions opt = args.run_options();
+  const auto workloads = wl::Registry::instance().applications();
+  std::vector<double> vs_bandit(workloads.size()), vs_stream(workloads.size());
+  harness::parallel_for(workloads.size(), 0, [&](std::size_t i) {
+    const auto* w = workloads[i];
+    const auto solo =
+        harness::run_solo_median(w->name, opt, args.effective_reps());
+    const auto bandit = harness::run_pair_median(w->name, "Bandit", opt,
+                                                 args.effective_reps());
+    const auto stream = harness::run_pair_median(w->name, "Stream", opt,
+                                                 args.effective_reps());
+    vs_bandit[i] = static_cast<double>(solo.cycles) /
+                   static_cast<double>(bandit.fg.cycles);
+    vs_stream[i] = static_cast<double>(solo.cycles) /
+                   static_cast<double>(stream.fg.cycles);
+  });
+  double sum_bandit = 0, sum_stream = 0, gem_stream = 0;
+  unsigned count = 0, gem_count = 0;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const auto* w = workloads[i];
+    const double sb = vs_bandit[i];
+    const double ss = vs_stream[i];
+    table.add_row({w->suite, w->name, harness::Table::fmt(sb),
+                   harness::Table::fmt(ss)});
+    csv += w->suite + "," + w->name + "," + harness::Table::fmt(sb, 3) + "," +
+           harness::Table::fmt(ss, 3) + "\n";
+    sum_bandit += sb;
+    sum_stream += ss;
+    ++count;
+    if (w->suite == "GeminiGraph") {
+      gem_stream += ss;
+      ++gem_count;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\naverages:\n"
+            << "  vs Bandit (all 25)      : "
+            << harness::Table::fmt(sum_bandit / count)
+            << "  (paper: 0.77-1.0 range)\n"
+            << "  vs Stream (all 25)      : "
+            << harness::Table::fmt(sum_stream / count) << "  (paper: ~0.61)\n"
+            << "  vs Stream (GeminiGraph) : "
+            << harness::Table::fmt(gem_stream / gem_count)
+            << "  (paper: ~0.48, i.e. ~2.08x slowdown)\n";
+  if (args.csv) std::cout << "\n" << csv;
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 7 (a-d): CPI, L2_PCP, LLC MPKI and LL of the five GeminiGraph
+// applications' hot edge loops, solo vs. co-running with Stream.
+#include "bench_common.hpp"
+#include "harness/report.hpp"
+
+namespace {
+
+coperf::perf::RegionProfile hot_region(
+    const std::vector<coperf::perf::RegionProfile>& regions) {
+  // Regions are sorted by cycles; take the hottest tagged one.
+  for (const auto& r : regions)
+    if (r.region != "<untagged>") return r;
+  return regions.empty() ? coperf::perf::RegionProfile{} : regions.front();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace coperf;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_config(args,
+                      "Fig. 7 -- Gemini hot-region metrics, solo vs Stream");
+
+  const char* apps[] = {"G-SSSP", "G-PR", "G-CC", "G-BC", "G-BFS"};
+  harness::Table table{{"workload", "region", "CPI solo", "CPI +Stream",
+                        "PCP solo", "PCP +Stream", "MPKI solo", "MPKI +Stream",
+                        "LL solo", "LL +Stream"}};
+  std::string csv =
+      "workload,cpi_solo,cpi_stream,pcp_solo,pcp_stream,mpki_solo,"
+      "mpki_stream,ll_solo,ll_stream\n";
+  const harness::RunOptions opt = args.run_options();
+  using harness::Table;
+  for (const char* app : apps) {
+    const auto solo = harness::run_solo_median(app, opt, args.effective_reps());
+    const auto pair =
+        harness::run_pair_median(app, "Stream", opt, args.effective_reps());
+    const auto rs = hot_region(solo.regions);
+    const auto rp = hot_region(pair.fg.regions);
+    table.add_row({app, rs.region, Table::fmt(rs.metrics.cpi),
+                   Table::fmt(rp.metrics.cpi),
+                   Table::fmt(rs.metrics.l2_pcp * 100, 0) + "%",
+                   Table::fmt(rp.metrics.l2_pcp * 100, 0) + "%",
+                   Table::fmt(rs.metrics.llc_mpki),
+                   Table::fmt(rp.metrics.llc_mpki), Table::fmt(rs.metrics.ll),
+                   Table::fmt(rp.metrics.ll)});
+    csv += std::string{app} + "," + Table::fmt(rs.metrics.cpi, 3) + "," +
+           Table::fmt(rp.metrics.cpi, 3) + "," +
+           Table::fmt(rs.metrics.l2_pcp, 3) + "," +
+           Table::fmt(rp.metrics.l2_pcp, 3) + "," +
+           Table::fmt(rs.metrics.llc_mpki, 3) + "," +
+           Table::fmt(rp.metrics.llc_mpki, 3) + "," +
+           Table::fmt(rs.metrics.ll, 3) + "," + Table::fmt(rp.metrics.ll, 3) +
+           "\n";
+  }
+  table.print(std::cout);
+  std::cout << "\n(paper: under Stream, LLC MPKI ~x2.6, CPI >x2, L2_PCP up "
+               "to 93% for G-PR, LL >x2)\n";
+  if (args.csv) std::cout << "\n" << csv;
+  return 0;
+}

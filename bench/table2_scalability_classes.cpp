@@ -1,0 +1,54 @@
+// Table II: thread-scalability characterization (Low / Medium / High)
+// for all 25 applications, from the measured S(8).
+#include <map>
+
+#include "bench_common.hpp"
+#include "harness/parallel.hpp"
+#include "harness/report.hpp"
+#include "wl/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace coperf;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_config(args, "Table II -- scalability classes");
+
+  harness::RunOptions opt = args.run_options();
+  const char* suites[] = {"PowerGraph", "GeminiGraph", "CNTK",
+                          "PARSEC",     "SPEC CPU2017", "HPC"};
+
+  harness::Table table{{"suite", "Low", "Medium", "High"}};
+  std::string csv = "suite,workload,s8,class\n";
+  // Sweep every workload in parallel first.
+  std::vector<const wl::WorkloadInfo*> all;
+  for (const char* suite : suites)
+    for (const auto* w : wl::Registry::instance().suite(suite))
+      all.push_back(w);
+  std::vector<harness::ScalabilityResult> sweeps(all.size());
+  harness::parallel_for(all.size(), 0, [&](std::size_t i) {
+    sweeps[i] = harness::scalability_sweep(all[i]->name, opt, 8);
+  });
+  std::size_t cursor = 0;
+  for (const char* suite : suites) {
+    std::map<harness::ScalClass, std::string> buckets;
+    for (const auto* w : wl::Registry::instance().suite(suite)) {
+      const auto& res = sweeps[cursor++];
+      (void)w;
+      std::string& bucket = buckets[res.cls];
+      if (!bucket.empty()) bucket += ", ";
+      bucket += res.workload;
+      csv += std::string{suite} + "," + res.workload + "," +
+             harness::Table::fmt(res.max_speedup()) + "," +
+             harness::to_string(res.cls) + "\n";
+    }
+    auto cell = [&](harness::ScalClass c) {
+      auto it = buckets.find(c);
+      return it == buckets.end() ? std::string{"-"} : it->second;
+    };
+    table.add_row({suite, cell(harness::ScalClass::Low),
+                   cell(harness::ScalClass::Medium),
+                   cell(harness::ScalClass::High)});
+  }
+  table.print(std::cout);
+  if (args.csv) std::cout << "\n" << csv;
+  return 0;
+}

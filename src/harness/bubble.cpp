@@ -1,0 +1,97 @@
+#include "harness/bubble.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coperf::harness {
+
+double SensitivityCurve::at(double gbs) const {
+  if (pressure_gbs.empty()) return 1.0;
+  if (gbs <= pressure_gbs.front()) return slowdown.front();
+  for (std::size_t i = 1; i < pressure_gbs.size(); ++i) {
+    if (gbs <= pressure_gbs[i]) {
+      const double t = (gbs - pressure_gbs[i - 1]) /
+                       (pressure_gbs[i] - pressure_gbs[i - 1]);
+      return slowdown[i - 1] + t * (slowdown[i] - slowdown[i - 1]);
+    }
+  }
+  return slowdown.back();
+}
+
+double SensitivityCurve::sensitivity_score() const {
+  if (slowdown.empty()) return 1.0;
+  double sum = 0.0;
+  for (double s : slowdown) sum += s;
+  return sum / static_cast<double>(slowdown.size());
+}
+
+namespace {
+
+/// The bubble stressor is Stream scaled by thread count: one Stream
+/// thread delivers roughly the per-core bandwidth limit, so the bubble
+/// dial picks how many of the complementary cores run it. (Throttling
+/// the per-core gate instead would throttle the probed foreground too.)
+RunOptions bubble_options(const RunOptions& base, double bubble_gbs) {
+  RunOptions o = base;
+  const unsigned max_bg = base.machine.num_cores - base.threads;
+  const double per_thread = base.machine.per_core_bw_gbs;
+  const auto want = static_cast<unsigned>(bubble_gbs / per_thread + 0.999);
+  o.bg_threads = std::clamp(want, 1u, max_bg);
+  return o;
+}
+
+}  // namespace
+
+SensitivityCurve sensitivity_curve(std::string_view workload,
+                                   const std::vector<double>& pressures_gbs,
+                                   const RunOptions& opt) {
+  if (pressures_gbs.empty())
+    throw std::invalid_argument{"sensitivity_curve: no pressures given"};
+  SensitivityCurve c;
+  c.workload = std::string{workload};
+  const RunResult solo = run_solo(workload, opt);
+  for (double gbs : pressures_gbs) {
+    // NOTE: throttling via the per-core gate also throttles the
+    // foreground; to keep the probe clean we instead scale the bubble's
+    // own thread count and measure the delivered pressure.
+    const CorunResult r = run_pair(workload, "Stream", bubble_options(opt, gbs));
+    c.pressure_gbs.push_back(r.bg_avg_bw_gbs);
+    c.slowdown.push_back(static_cast<double>(r.fg.cycles) /
+                         static_cast<double>(solo.cycles));
+  }
+  // Keep the curve sorted by delivered pressure for interpolation.
+  std::vector<std::size_t> idx(c.pressure_gbs.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return c.pressure_gbs[a] < c.pressure_gbs[b];
+  });
+  SensitivityCurve sorted;
+  sorted.workload = c.workload;
+  for (std::size_t i : idx) {
+    sorted.pressure_gbs.push_back(c.pressure_gbs[i]);
+    sorted.slowdown.push_back(c.slowdown[i]);
+  }
+  return sorted;
+}
+
+PressureScore pressure_score(std::string_view workload, const RunOptions& opt,
+                             double reference_bubble_gbs) {
+  PressureScore p;
+  p.workload = std::string{workload};
+  p.solo_bw_gbs = run_solo(workload, opt).avg_bw_gbs;
+  // Run the subject as FOREGROUND against the reference bubble and
+  // measure the bandwidth it still claims -- applications that keep
+  // pulling bandwidth under contention are the ones that pressure
+  // everyone else.
+  const CorunResult r =
+      run_pair(workload, "Stream", bubble_options(opt, reference_bubble_gbs));
+  p.contended_bw_gbs = r.fg.avg_bw_gbs;
+  return p;
+}
+
+double predict_slowdown(const SensitivityCurve& victim,
+                        const PressureScore& aggressor) {
+  return victim.at(aggressor.score());
+}
+
+}  // namespace coperf::harness

@@ -1,0 +1,59 @@
+// Bubble-Up-style pressure/sensitivity characterization (extension).
+//
+// The paper's related work (Mars et al., Bubble-Up; Delimitrou et al.,
+// iBench) predicts co-run degradation by probing each application with
+// a tunable memory-pressure "bubble" instead of running all N^2 pairs.
+// This module implements that methodology on top of coperf: a synthetic
+// stressor with a bandwidth dial, a sensitivity curve per application
+// (slowdown as a function of bubble pressure), and a pressure score per
+// application (how big a bubble it is for others). Together they allow
+// O(N) characterization that approximates the paper's Fig. 5 matrix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+
+namespace coperf::harness {
+
+/// Slowdown of one application against increasing background pressure.
+struct SensitivityCurve {
+  std::string workload;
+  std::vector<double> pressure_gbs;  ///< bubble sizes probed
+  std::vector<double> slowdown;      ///< t(bubble)/t(solo) at each size
+
+  /// Interpolated slowdown at an arbitrary pressure.
+  double at(double gbs) const;
+  /// Area-under-curve style scalar score (mean slowdown over the sweep).
+  double sensitivity_score() const;
+};
+
+/// How much pressure a workload exerts on others, measured as the
+/// bandwidth it sustains while co-running against a reference bubble.
+struct PressureScore {
+  std::string workload;
+  double solo_bw_gbs = 0.0;
+  double contended_bw_gbs = 0.0;
+  /// Effective pressure: bandwidth it keeps claiming under contention.
+  double score() const { return contended_bw_gbs; }
+};
+
+/// Probes `workload` with bubbles of each size in `pressures_gbs`
+/// (background "bubble" stressor on the complementary cores).
+SensitivityCurve sensitivity_curve(std::string_view workload,
+                                   const std::vector<double>& pressures_gbs,
+                                   const RunOptions& opt = {});
+
+/// Measures `workload`'s pressure score against a mid-size bubble.
+PressureScore pressure_score(std::string_view workload,
+                             const RunOptions& opt = {},
+                             double reference_bubble_gbs = 12.0);
+
+/// Bubble-Up prediction: expected slowdown of `victim` when co-running
+/// with `aggressor`, from the victim's curve and the aggressor's score
+/// (no pair run needed).
+double predict_slowdown(const SensitivityCurve& victim,
+                        const PressureScore& aggressor);
+
+}  // namespace coperf::harness

@@ -1,0 +1,31 @@
+#include "harness/classify.hpp"
+
+namespace coperf::harness {
+
+const char* to_string(PairClass c) {
+  switch (c) {
+    case PairClass::Harmony: return "Harmony";
+    case PairClass::VictimOffender: return "Victim-Offender";
+    case PairClass::BothVictim: return "Both-Victim";
+  }
+  return "?";
+}
+
+PairClass classify_pair(double slowdown_a, double slowdown_b,
+                        double threshold) {
+  const bool a_victim = slowdown_a >= threshold;
+  const bool b_victim = slowdown_b >= threshold;
+  if (a_victim && b_victim) return PairClass::BothVictim;
+  if (a_victim || b_victim) return PairClass::VictimOffender;
+  return PairClass::Harmony;
+}
+
+std::string victim_of(const std::string& a, const std::string& b,
+                      double slowdown_a, double slowdown_b, double threshold) {
+  if (classify_pair(slowdown_a, slowdown_b, threshold) !=
+      PairClass::VictimOffender)
+    return "";
+  return slowdown_a >= threshold ? a : b;
+}
+
+}  // namespace coperf::harness

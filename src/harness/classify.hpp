@@ -1,0 +1,26 @@
+// Co-running pair classification (paper Section V): Harmony,
+// Victim-Offender, Both-Victim at the paper's 1.5x slowdown threshold.
+#pragma once
+
+#include <string>
+
+namespace coperf::harness {
+
+enum class PairClass { Harmony, VictimOffender, BothVictim };
+
+const char* to_string(PairClass c);
+
+inline constexpr double kVictimThreshold = 1.5;
+
+/// Classifies the unordered pair (A, B) from both orderings'
+/// foreground slowdowns: slowdown_a = t(A fg, B bg) / t(A solo) and
+/// vice versa.
+PairClass classify_pair(double slowdown_a, double slowdown_b,
+                        double threshold = kVictimThreshold);
+
+/// For a Victim-Offender pair, names the victim ("" if not V-O).
+std::string victim_of(const std::string& a, const std::string& b,
+                      double slowdown_a, double slowdown_b,
+                      double threshold = kVictimThreshold);
+
+}  // namespace coperf::harness

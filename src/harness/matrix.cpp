@@ -1,0 +1,79 @@
+#include "harness/matrix.hpp"
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "harness/parallel.hpp"
+#include "wl/registry.hpp"
+
+namespace coperf::harness {
+
+PairClass CorunMatrix::pair_class(std::size_t i, std::size_t j) const {
+  return classify_pair(normalized[i][j], normalized[j][i]);
+}
+
+CorunMatrix::ClassCounts CorunMatrix::count_classes() const {
+  ClassCounts c;
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (std::size_t j = i; j < size(); ++j) {
+      switch (pair_class(i, j)) {
+        case PairClass::Harmony: ++c.harmony; break;
+        case PairClass::VictimOffender: ++c.victim_offender; break;
+        case PairClass::BothVictim: ++c.both_victim; break;
+      }
+    }
+  }
+  return c;
+}
+
+CorunMatrix corun_matrix(const MatrixOptions& opt) {
+  CorunMatrix m;
+  if (opt.subset.empty()) {
+    for (const auto* w : wl::Registry::instance().applications())
+      m.workloads.push_back(w->name);
+  } else {
+    m.workloads = opt.subset;
+    for (const auto& w : m.workloads) (void)wl::Registry::instance().at(w);
+  }
+  const std::size_t n = m.workloads.size();
+  if (n == 0) throw std::logic_error{"corun_matrix: no workloads"};
+
+  // Solo baselines first (median of reps).
+  m.solo_cycles.assign(n, 0);
+  parallel_for(n, opt.host_threads, [&](std::size_t i) {
+    m.solo_cycles[i] =
+        run_solo_median(m.workloads[i], opt.run, opt.reps).cycles;
+  });
+
+  // Full fg x bg sweep.
+  m.normalized.assign(n, std::vector<double>(n, 0.0));
+  parallel_for(n * n, opt.host_threads, [&](std::size_t idx) {
+    const std::size_t fg = idx / n;
+    const std::size_t bg = idx % n;
+    const CorunResult r =
+        run_pair_median(m.workloads[fg], m.workloads[bg], opt.run, opt.reps);
+    m.normalized[fg][bg] = static_cast<double>(r.fg.cycles) /
+                           static_cast<double>(m.solo_cycles[fg]);
+  });
+  return m;
+}
+
+std::vector<double> corun_row(std::string_view fg,
+                              const std::vector<std::string>& bgs,
+                              const RunOptions& opt, unsigned reps) {
+  const sim::Cycle solo = run_solo_median(fg, opt, reps).cycles;
+  std::vector<double> out;
+  out.reserve(bgs.size());
+  for (const auto& bg : bgs) {
+    const CorunResult r = run_pair_median(fg, bg, opt, reps);
+    out.push_back(static_cast<double>(r.fg.cycles) /
+                  static_cast<double>(solo));
+  }
+  return out;
+}
+
+}  // namespace coperf::harness

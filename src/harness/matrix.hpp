@@ -1,0 +1,55 @@
+// The full co-running matrix (paper Section V, Fig. 5): every workload
+// as foreground against every workload as background, normalized to
+// the solo run. Simulations are independent, so the sweep fans out
+// over a host thread pool.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/classify.hpp"
+#include "harness/runner.hpp"
+
+namespace coperf::harness {
+
+struct CorunMatrix {
+  std::vector<std::string> workloads;  ///< axis order (paper Fig. 5 order)
+  std::vector<sim::Cycle> solo_cycles; ///< per workload
+  /// normalized[fg][bg] = t(fg with bg) / t(fg solo).
+  std::vector<std::vector<double>> normalized;
+
+  double at(std::size_t fg, std::size_t bg) const {
+    return normalized[fg][bg];
+  }
+  std::size_t size() const { return workloads.size(); }
+
+  /// Classification of the unordered pair (i, j) from both orderings.
+  PairClass pair_class(std::size_t i, std::size_t j) const;
+
+  /// Counts of each class over all unordered pairs.
+  struct ClassCounts {
+    std::size_t harmony = 0, victim_offender = 0, both_victim = 0;
+  };
+  ClassCounts count_classes() const;
+};
+
+struct MatrixOptions {
+  RunOptions run;
+  unsigned reps = 3;           ///< median-of-N (paper: 3 runs per pair)
+  unsigned host_threads = 0;   ///< 0 = hardware_concurrency
+  /// Restrict to a subset of workloads (empty = all 25 applications).
+  std::vector<std::string> subset;
+};
+
+/// Runs the (subset of the) 25x25 sweep. With the default subset this
+/// is the paper's 625-pair experiment.
+CorunMatrix corun_matrix(const MatrixOptions& opt = {});
+
+/// Single-row helper: one foreground against a list of backgrounds
+/// (used by the Fig. 6 mini-benchmark experiment).
+std::vector<double> corun_row(std::string_view fg,
+                              const std::vector<std::string>& bgs,
+                              const RunOptions& opt, unsigned reps = 3);
+
+}  // namespace coperf::harness

@@ -1,0 +1,48 @@
+#include "harness/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coperf::harness {
+
+void parallel_for(std::size_t total, unsigned host_threads,
+                  const std::function<void(std::size_t)>& body) {
+  unsigned n = host_threads != 0 ? host_threads
+                                 : std::thread::hardware_concurrency();
+  if (n == 0) n = 4;
+  n = static_cast<unsigned>(std::min<std::size_t>(n, total));
+  if (n <= 1) {
+    for (std::size_t i = 0; i < total; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (unsigned t = 0; t < n; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= total || failed.load()) return;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard lock{error_mu};
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace coperf::harness

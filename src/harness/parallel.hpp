@@ -1,0 +1,19 @@
+// Host-side parallel fan-out for independent simulations.
+//
+// Every coperf simulation is self-contained (no shared mutable state
+// between Machine instances), so experiment sweeps parallelize across
+// host threads trivially. Exceptions from workers are captured and
+// rethrown on the caller.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace coperf::harness {
+
+/// Runs body(i) for i in [0, total) on up to `host_threads` threads
+/// (0 = hardware concurrency). Blocks until all complete.
+void parallel_for(std::size_t total, unsigned host_threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace coperf::harness

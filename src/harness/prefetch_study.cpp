@@ -1,0 +1,58 @@
+#include "harness/prefetch_study.hpp"
+
+namespace coperf::harness {
+
+PrefetchSensitivity prefetch_sensitivity(std::string_view workload,
+                                         const RunOptions& opt) {
+  RunOptions on = opt;
+  on.machine.prefetch = sim::PrefetchMask::all_on();
+  RunOptions off = opt;
+  off.machine.prefetch = sim::PrefetchMask::all_off();
+
+  const RunResult r_on = run_solo(workload, on);
+  const RunResult r_off = run_solo(workload, off);
+
+  PrefetchSensitivity s;
+  s.workload = std::string{workload};
+  s.cycles_on = r_on.cycles;
+  s.cycles_off = r_off.cycles;
+  s.speedup_ratio = r_off.cycles == 0
+                        ? 1.0
+                        : static_cast<double>(r_on.cycles) /
+                              static_cast<double>(r_off.cycles);
+  s.bw_on_gbs = r_on.avg_bw_gbs;
+  s.bw_off_gbs = r_off.avg_bw_gbs;
+  return s;
+}
+
+PrefetchAblation prefetch_ablation(std::string_view workload,
+                                   const RunOptions& opt) {
+  auto run_with = [&](sim::PrefetchMask mask) {
+    RunOptions o = opt;
+    o.machine.prefetch = mask;
+    return static_cast<double>(run_solo(workload, o).cycles);
+  };
+
+  const double on = run_with(sim::PrefetchMask::all_on());
+  auto ratio = [&](sim::PrefetchMask mask) { return on / run_with(mask); };
+
+  PrefetchAblation a;
+  a.workload = std::string{workload};
+  a.all_on = 1.0;
+  sim::PrefetchMask m = sim::PrefetchMask::all_on();
+  m.l2_stream = false;
+  a.no_l2_stream = ratio(m);
+  m = sim::PrefetchMask::all_on();
+  m.l2_adjacent = false;
+  a.no_l2_adjacent = ratio(m);
+  m = sim::PrefetchMask::all_on();
+  m.l1_next_line = false;
+  a.no_l1_next = ratio(m);
+  m = sim::PrefetchMask::all_on();
+  m.l1_ip_stride = false;
+  a.no_l1_ip = ratio(m);
+  a.all_off = ratio(sim::PrefetchMask::all_off());
+  return a;
+}
+
+}  // namespace coperf::harness

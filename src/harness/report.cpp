@@ -1,0 +1,98 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace coperf::harness {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << cells[c];
+    os << '\n';
+  };
+  line(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    rule += std::string(width[c], '-') + "  ";
+  os << rule << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void print_heatmap(std::ostream& os, const CorunMatrix& m) {
+  constexpr std::size_t kName = 14;
+  os << std::setw(kName) << "fg \\ bg";
+  for (const auto& w : m.workloads)
+    os << ' ' << std::setw(5) << w.substr(0, 5);
+  os << '\n';
+  for (std::size_t fg = 0; fg < m.size(); ++fg) {
+    os << std::setw(kName) << m.workloads[fg];
+    for (std::size_t bg = 0; bg < m.size(); ++bg)
+      os << ' ' << std::setw(5) << Table::fmt(m.at(fg, bg), 2);
+    os << '\n';
+  }
+}
+
+std::string matrix_to_csv(const CorunMatrix& m) {
+  std::ostringstream os;
+  os << "foreground,background,normalized_runtime\n";
+  for (std::size_t fg = 0; fg < m.size(); ++fg)
+    for (std::size_t bg = 0; bg < m.size(); ++bg)
+      os << m.workloads[fg] << ',' << m.workloads[bg] << ','
+         << Table::fmt(m.at(fg, bg), 4) << '\n';
+  return os.str();
+}
+
+void print_scalability(std::ostream& os,
+                       const std::vector<ScalabilityResult>& results) {
+  if (results.empty()) return;
+  std::vector<std::string> header{"workload"};
+  for (unsigned t : results.front().threads)
+    header.push_back("S(" + std::to_string(t) + ")");
+  header.push_back("class");
+  Table table{std::move(header)};
+  for (const auto& r : results) {
+    std::vector<std::string> row{r.workload};
+    for (double s : r.speedup) row.push_back(Table::fmt(s, 2));
+    row.push_back(to_string(r.cls));
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+}
+
+}  // namespace coperf::harness

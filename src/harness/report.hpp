@@ -1,0 +1,42 @@
+// Plain-text/CSV reporters used by the per-figure bench binaries to
+// print rows/series in the same shape as the paper's tables and
+// figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/matrix.hpp"
+#include "harness/runner.hpp"
+#include "harness/scalability.hpp"
+
+namespace coperf::harness {
+
+/// Simple column-aligned table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  void print(std::ostream& os) const;
+  std::string to_csv() const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fig. 5-style heat map: rows = foreground, cols = background,
+/// values = normalized runtime.
+void print_heatmap(std::ostream& os, const CorunMatrix& m);
+
+/// CSV dump of the matrix (fg,bg,normalized triples).
+std::string matrix_to_csv(const CorunMatrix& m);
+
+/// Fig. 2-style speedup series for a suite of workloads.
+void print_scalability(std::ostream& os,
+                       const std::vector<ScalabilityResult>& results);
+
+}  // namespace coperf::harness

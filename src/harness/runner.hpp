@@ -1,0 +1,73 @@
+// Solo and co-run execution harness -- the paper's experimental
+// methodology (Section III / Fig. 1) as a library:
+//   * applications pinned to exclusive cores (fg: 0..3, bg: 4..7),
+//   * background application restarted indefinitely until the
+//     foreground finishes,
+//   * bandwidth sampled PCM-style throughout,
+//   * repeated runs under distinct seeds, reported as the median.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "perf/metrics.hpp"
+#include "perf/pcm.hpp"
+#include "sim/config.hpp"
+#include "sim/machine.hpp"
+#include "wl/workload.hpp"
+
+namespace coperf::harness {
+
+struct RunOptions {
+  sim::MachineConfig machine = sim::MachineConfig::scaled();
+  wl::SizeClass size = wl::SizeClass::Small;
+  unsigned threads = 4;     ///< foreground thread count
+  unsigned bg_threads = 4;  ///< background thread count (co-run)
+  std::uint64_t seed = 1;
+  sim::Cycle sample_window = 200'000;  ///< PCM sampling period
+  sim::Cycle cycle_limit = 50'000'000'000ull;
+};
+
+/// Measurements of one application from one run (solo or co-run).
+struct RunResult {
+  std::string workload;
+  unsigned threads = 0;
+  sim::Cycle cycles = 0;   ///< wall-clock of the run (this app)
+  double seconds = 0.0;
+  sim::CoreStats stats;    ///< aggregated over the app's cores
+  perf::Metrics metrics;
+  double avg_bw_gbs = 0.0; ///< this app's DRAM bandwidth
+  std::vector<perf::RegionProfile> regions;
+  std::size_t footprint_bytes = 0;
+  bool hit_cycle_limit = false;
+};
+
+/// Result of one foreground/background pairing.
+struct CorunResult {
+  RunResult fg;
+  std::string bg_workload;
+  std::uint64_t bg_runs_completed = 0;
+  sim::CoreStats bg_stats;
+  double bg_avg_bw_gbs = 0.0;
+  double total_avg_bw_gbs = 0.0;
+};
+
+/// Runs `workload` alone on cores [0, threads).
+RunResult run_solo(std::string_view workload, const RunOptions& opt = {});
+
+/// Runs `fg` on cores [0, threads) against `bg` looping on cores
+/// [threads, threads + bg_threads). Measures the foreground completely
+/// and the background's progress (Section V methodology).
+CorunResult run_pair(std::string_view fg, std::string_view bg,
+                     const RunOptions& opt = {});
+
+/// Median-of-N helper matching the paper's three repeated runs: reruns
+/// with seeds seed+0..n-1 and returns the run with median fg cycles.
+RunResult run_solo_median(std::string_view workload, const RunOptions& opt = {},
+                          unsigned reps = 3);
+CorunResult run_pair_median(std::string_view fg, std::string_view bg,
+                            const RunOptions& opt = {}, unsigned reps = 3);
+
+}  // namespace coperf::harness

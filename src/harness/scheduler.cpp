@@ -1,0 +1,164 @@
+#include "harness/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace coperf::harness {
+
+double pair_cost(const CorunMatrix& m, std::size_t a, std::size_t b) {
+  return m.at(a, b) + m.at(b, a);
+}
+
+namespace {
+
+void finalize(const CorunMatrix& m, Schedule& s) {
+  s.total_cost = 0.0;
+  s.worst_slowdown = 0.0;
+  s.worst_class = PairClass::Harmony;
+  for (const Pairing& p : s.pairs) {
+    s.total_cost += p.cost;
+    s.worst_slowdown =
+        std::max({s.worst_slowdown, m.at(p.a, p.b), m.at(p.b, p.a)});
+    const PairClass c = m.pair_class(p.a, p.b);
+    if (static_cast<int>(c) > static_cast<int>(s.worst_class))
+      s.worst_class = c;
+  }
+}
+
+void check_jobs(const std::vector<std::size_t>& jobs, const CorunMatrix& m) {
+  if (jobs.size() % 2 != 0)
+    throw std::invalid_argument{"scheduler: job count must be even"};
+  for (std::size_t j : jobs)
+    if (j >= m.size())
+      throw std::out_of_range{"scheduler: job index outside the matrix"};
+}
+
+}  // namespace
+
+Schedule schedule_greedy(const CorunMatrix& m,
+                         const std::vector<std::size_t>& jobs) {
+  check_jobs(jobs, m);
+  // Difficult-job-first matching: repeatedly take the unpaired job whose
+  // worst remaining pairing is most expensive and give it its cheapest
+  // available partner. Min-edge-first greed is myopic here: it happily
+  // pairs the two harmless jobs together and leaves the two offenders
+  // to destroy each other.
+  std::vector<std::size_t> remaining = jobs;
+  Schedule s;
+  while (!remaining.empty()) {
+    std::size_t worst_idx = 0;
+    double worst_exposure = -1.0;
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      double exposure = 0.0;
+      for (std::size_t j = 0; j < remaining.size(); ++j)
+        if (i != j)
+          exposure = std::max(exposure,
+                              pair_cost(m, remaining[i], remaining[j]));
+      if (exposure > worst_exposure) {
+        worst_exposure = exposure;
+        worst_idx = i;
+      }
+    }
+    const std::size_t a = remaining[worst_idx];
+    remaining.erase(remaining.begin() +
+                    static_cast<std::ptrdiff_t>(worst_idx));
+    std::size_t best_idx = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < remaining.size(); ++j) {
+      const double c = pair_cost(m, a, remaining[j]);
+      if (c < best_cost) {
+        best_cost = c;
+        best_idx = j;
+      }
+    }
+    const std::size_t b = remaining[best_idx];
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_idx));
+    s.pairs.push_back({a, b, best_cost});
+  }
+  finalize(m, s);
+  return s;
+}
+
+namespace {
+
+void optimal_rec(const CorunMatrix& m, std::vector<std::size_t>& remaining,
+                 std::vector<Pairing>& current, double cost_so_far,
+                 double& best_cost, std::vector<Pairing>& best) {
+  if (remaining.empty()) {
+    if (cost_so_far < best_cost) {
+      best_cost = cost_so_far;
+      best = current;
+    }
+    return;
+  }
+  if (cost_so_far >= best_cost) return;  // branch and bound
+  const std::size_t a = remaining.back();
+  remaining.pop_back();
+  for (std::size_t i = 0; i < remaining.size(); ++i) {
+    const std::size_t b = remaining[i];
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(i));
+    const double c = pair_cost(m, a, b);
+    current.push_back({a, b, c});
+    optimal_rec(m, remaining, current, cost_so_far + c, best_cost, best);
+    current.pop_back();
+    remaining.insert(remaining.begin() + static_cast<std::ptrdiff_t>(i), b);
+  }
+  remaining.push_back(a);
+}
+
+}  // namespace
+
+Schedule schedule_optimal(const CorunMatrix& m,
+                          const std::vector<std::size_t>& jobs) {
+  check_jobs(jobs, m);
+  if (jobs.size() > 12)
+    throw std::invalid_argument{
+        "schedule_optimal: exhaustive matching limited to 12 jobs"};
+  std::vector<std::size_t> remaining = jobs;
+  std::vector<Pairing> current, best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  optimal_rec(m, remaining, current, 0.0, best_cost, best);
+  Schedule s;
+  s.pairs = std::move(best);
+  finalize(m, s);
+  return s;
+}
+
+Schedule schedule_worst(const CorunMatrix& m,
+                        const std::vector<std::size_t>& jobs) {
+  check_jobs(jobs, m);
+  // Greedy max-cost matching as the adversarial baseline.
+  struct Cand {
+    double cost;
+    std::size_t a, b;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    for (std::size_t j = i + 1; j < jobs.size(); ++j)
+      cands.push_back({pair_cost(m, jobs[i], jobs[j]), jobs[i], jobs[j]});
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& x, const Cand& y) { return x.cost > y.cost; });
+  std::vector<bool> used(m.size(), false);
+  Schedule s;
+  for (const Cand& c : cands) {
+    if (used[c.a] || used[c.b]) continue;
+    used[c.a] = used[c.b] = true;
+    s.pairs.push_back({c.a, c.b, c.cost});
+  }
+  finalize(m, s);
+  return s;
+}
+
+SchedulingStudy scheduling_study(const CorunMatrix& m,
+                                 const std::vector<std::size_t>& jobs) {
+  SchedulingStudy st;
+  st.greedy = schedule_greedy(m, jobs);
+  st.worst = schedule_worst(m, jobs);
+  st.improvement =
+      st.greedy.total_cost > 0 ? st.worst.total_cost / st.greedy.total_cost
+                               : 1.0;
+  return st;
+}
+
+}  // namespace coperf::harness

@@ -1,0 +1,64 @@
+// Interference-aware co-scheduling (extension).
+//
+// The paper motivates its characterization with exactly this use case
+// (Section I / II-B: "task scheduling techniques ... avoid the
+// co-location of interfering workloads"). Given a measured or predicted
+// co-run matrix, this module pairs 2k jobs onto k machines so that total
+// (or worst-case) slowdown is minimized, and reports the improvement
+// over random and worst-case pairings -- the consolidation-quality
+// metric warehouse schedulers care about.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/matrix.hpp"
+
+namespace coperf::harness {
+
+struct Pairing {
+  std::size_t a = 0;  ///< index into the matrix's workload list
+  std::size_t b = 0;
+  double cost = 0.0;  ///< slowdown(a|b) + slowdown(b|a)
+};
+
+struct Schedule {
+  std::vector<Pairing> pairs;
+  double total_cost = 0.0;     ///< sum of pair costs
+  double worst_slowdown = 0.0; ///< max single-sided slowdown
+  PairClass worst_class = PairClass::Harmony;
+};
+
+/// Pair cost = normalized runtime of a with b in the background plus
+/// vice versa (2.0 == perfectly harmonious).
+double pair_cost(const CorunMatrix& m, std::size_t a, std::size_t b);
+
+/// Greedy min-cost matching: repeatedly pair the two remaining jobs
+/// with the smallest mutual slowdown. O(n^2 log n), near-optimal for
+/// the matrices this produces. `jobs` indexes into m.workloads; must
+/// have even size.
+Schedule schedule_greedy(const CorunMatrix& m,
+                         const std::vector<std::size_t>& jobs);
+
+/// Exhaustive optimal matching (exact, O(n!!)) -- for <= 10 jobs; used
+/// to validate the greedy heuristic in tests.
+Schedule schedule_optimal(const CorunMatrix& m,
+                          const std::vector<std::size_t>& jobs);
+
+/// Adversarial baseline: maximize cost (what a bad scheduler could do).
+Schedule schedule_worst(const CorunMatrix& m,
+                        const std::vector<std::size_t>& jobs);
+
+/// Summary of the scheduling value of the characterization:
+/// greedy vs. optimal vs. worst total slowdown for a set of jobs.
+struct SchedulingStudy {
+  Schedule greedy;
+  Schedule worst;
+  double improvement = 0.0;  ///< worst.total_cost / greedy.total_cost
+};
+
+SchedulingStudy scheduling_study(const CorunMatrix& m,
+                                 const std::vector<std::size_t>& jobs);
+
+}  // namespace coperf::harness

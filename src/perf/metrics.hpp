@@ -1,0 +1,38 @@
+// Derived hardware metrics (Section VI-A of the paper).
+//
+// All four metrics the paper profiles with VTune are pure arithmetic on
+// the simulator's event counters:
+//   CPI      = cycles / instructions
+//   L2_PCP   = cycles with an L2 miss pending / cycles
+//   LLC MPKI = 1000 * LLC misses / instructions
+//   LL       = CPI * L2_PCP / (L2 misses per instruction)
+#pragma once
+
+#include <string>
+
+#include "sim/stats.hpp"
+
+namespace coperf::perf {
+
+struct Metrics {
+  double cpi = 0.0;
+  double l2_pcp = 0.0;
+  double llc_mpki = 0.0;
+  double l2_mpki = 0.0;
+  double ll = 0.0;
+  double ipc = 0.0;
+
+  static Metrics from(const sim::CoreStats& s) {
+    return Metrics{s.cpi(), s.l2_pcp(), s.llc_mpki(), s.l2_mpki(), s.ll(),
+                   s.ipc()};
+  }
+};
+
+/// Per-region profile entry (VTune hot-spot analogue).
+struct RegionProfile {
+  std::string region;
+  sim::CoreStats stats;
+  Metrics metrics;
+};
+
+}  // namespace coperf::perf

@@ -1,0 +1,160 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace coperf::sim {
+
+namespace {
+/// Folded-XOR set index: spreads high address bits (including the AppId
+/// field) into the index so distinct address spaces interleave across
+/// LLC sets instead of aliasing into a narrow band.
+std::uint64_t fold_index(Addr line, std::uint64_t sets_log2, std::uint64_t mask) {
+  Addr x = line;
+  x ^= line >> sets_log2;
+  x ^= line >> (2 * sets_log2);
+  x ^= line >> (3 * sets_log2);
+  return x & mask;
+}
+}  // namespace
+
+Cache::Cache(std::string name, const CacheConfig& cfg, bool hashed_index)
+    : name_(std::move(name)),
+      cfg_(cfg),
+      hashed_index_(hashed_index),
+      num_sets_(cfg.num_sets()),
+      assoc_(cfg.assoc) {
+  if (num_sets_ == 0 || (num_sets_ & (num_sets_ - 1)) != 0)
+    throw std::invalid_argument{name_ + ": set count must be a power of two"};
+  sets_log2_ = static_cast<std::uint64_t>(std::countr_zero(num_sets_));
+  ways_.resize(num_sets_ * assoc_);
+}
+
+std::uint64_t Cache::set_index(Addr line) const {
+  const std::uint64_t mask = num_sets_ - 1;
+  return hashed_index_ ? fold_index(line, sets_log2_, mask) : (line & mask);
+}
+
+Cache::Way* Cache::find(Addr line) {
+  const std::uint64_t base = set_index(line) * assoc_;
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + w];
+    if (way.valid && way.tag == line) return &way;
+  }
+  return nullptr;
+}
+
+const Cache::Way* Cache::find(Addr line) const {
+  const std::uint64_t base = set_index(line) * assoc_;
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    const Way& way = ways_[base + w];
+    if (way.valid && way.tag == line) return &way;
+  }
+  return nullptr;
+}
+
+CacheResult Cache::access(Addr line, bool is_write) {
+  CacheResult r;
+  if (Way* way = find(line)) {
+    r.hit = true;
+    r.was_prefetched = way->prefetched;
+    if (way->prefetched) {
+      ++stats_.prefetch_useful;
+      way->prefetched = false;  // count first demand touch only
+    }
+    way->lru = ++lru_clock_;
+    if (is_write) {
+      way->dirty = true;
+      ++stats_.store_hits;
+    } else {
+      ++stats_.demand_hits;
+    }
+    return r;
+  }
+  if (is_write)
+    ++stats_.store_misses;
+  else
+    ++stats_.demand_misses;
+  return r;
+}
+
+bool Cache::probe(Addr line) const { return find(line) != nullptr; }
+
+CacheResult Cache::fill(Addr line, bool dirty, bool from_prefetch) {
+  CacheResult r;
+  if (Way* existing = find(line)) {
+    // Duplicate fill (e.g. prefetch raced a demand fill): refresh state.
+    existing->dirty = existing->dirty || dirty;
+    existing->lru = ++lru_clock_;
+    return r;
+  }
+  const std::uint64_t base = set_index(line) * assoc_;
+  Way* victim = nullptr;
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + w];
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (victim == nullptr || way.lru < victim->lru) victim = &way;
+  }
+  if (victim->valid) {
+    r.evicted = true;
+    r.evicted_line = victim->tag;
+    r.evicted_dirty = victim->dirty;
+    if (victim->dirty) ++stats_.writebacks;
+  }
+  victim->tag = line;
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->prefetched = from_prefetch;
+  victim->lru = ++lru_clock_;
+  if (from_prefetch) ++stats_.prefetch_fills;
+  return r;
+}
+
+void Cache::mark_dirty(Addr line) {
+  if (Way* way = find(line)) way->dirty = true;
+}
+
+Cache::InvalidateResult Cache::invalidate(Addr line) {
+  InvalidateResult r;
+  if (Way* way = find(line)) {
+    r.present = true;
+    r.dirty = way->dirty;
+    way->valid = false;
+    way->dirty = false;
+    way->prefetched = false;
+    ++stats_.back_invalidations;
+  }
+  return r;
+}
+
+std::uint64_t Cache::invalidate_app(AppId app) {
+  std::uint64_t n = 0;
+  for (Way& way : ways_) {
+    if (way.valid && app_of(way.tag << kLineBytesLog2) == app) {
+      way.valid = false;
+      way.dirty = false;
+      way.prefetched = false;
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::uint64_t Cache::occupancy() const {
+  std::uint64_t n = 0;
+  for (const Way& way : ways_)
+    if (way.valid) ++n;
+  return n;
+}
+
+std::uint64_t Cache::occupancy_of(AppId app) const {
+  std::uint64_t n = 0;
+  for (const Way& way : ways_)
+    if (way.valid && app_of(way.tag << kLineBytesLog2) == app) ++n;
+  return n;
+}
+
+}  // namespace coperf::sim

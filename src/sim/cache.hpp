@@ -1,0 +1,100 @@
+// Set-associative write-back cache model with true-LRU replacement.
+//
+// Used for the private L1D/L2 and the shared (optionally inclusive) L3.
+// Lookups operate on line numbers (Addr >> 6). The L3 uses a folded
+// set-index hash so co-running applications (whose address spaces
+// differ only in high bits) spread across all sets the way physical
+// addresses do on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/addr.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+
+namespace coperf::sim {
+
+/// Outcome of a demand access or a fill.
+struct CacheResult {
+  bool hit = false;
+  bool was_prefetched = false;  ///< hit on a line brought in by a prefetcher
+  bool evicted = false;         ///< fill displaced a valid line
+  bool evicted_dirty = false;   ///< ...that needs a writeback
+  Addr evicted_line = 0;
+};
+
+class Cache {
+ public:
+  /// `hashed_index` selects the folded-XOR set mapping (use for the LLC).
+  Cache(std::string name, const CacheConfig& cfg, bool hashed_index = false);
+
+  /// Demand lookup; updates LRU and statistics. Does NOT allocate on miss
+  /// (the hierarchy calls fill() once the line arrives from below).
+  CacheResult access(Addr line, bool is_write);
+
+  /// Lookup without side effects (no LRU update, no stats).
+  bool probe(Addr line) const;
+
+  /// Installs `line`, evicting the LRU way if the set is full.
+  /// `from_prefetch` marks the line for usefulness accounting.
+  CacheResult fill(Addr line, bool dirty, bool from_prefetch);
+
+  /// Marks an existing line dirty (store hit after fill). No-op if absent.
+  void mark_dirty(Addr line);
+
+  /// Removes `line` if present; returns {was_present, was_dirty}.
+  struct InvalidateResult {
+    bool present = false;
+    bool dirty = false;
+  };
+  InvalidateResult invalidate(Addr line);
+
+  /// Drops every line belonging to application `app` (used when a
+  /// background application restarts with a fresh address space is NOT
+  /// done in the paper's methodology -- provided for tests/tools).
+  std::uint64_t invalidate_app(AppId app);
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  const std::string& name() const { return name_; }
+  std::uint64_t num_sets() const { return num_sets_; }
+  std::uint32_t assoc() const { return assoc_; }
+  std::uint64_t size_bytes() const { return cfg_.size_bytes; }
+  std::uint32_t latency() const { return cfg_.latency_cycles; }
+
+  /// Number of currently valid lines (test/diagnostic helper).
+  std::uint64_t occupancy() const;
+  /// Valid lines belonging to a given application (LLC-share diagnostics).
+  std::uint64_t occupancy_of(AppId app) const;
+
+  std::uint64_t set_index(Addr line) const;
+
+ private:
+  struct Way {
+    Addr tag = 0;
+    std::uint64_t lru = 0;  // larger == more recently used
+    bool valid = false;
+    bool dirty = false;
+    bool prefetched = false;
+  };
+
+  Way* find(Addr line);
+  const Way* find(Addr line) const;
+
+  std::string name_;
+  CacheConfig cfg_;
+  bool hashed_index_;
+  std::uint64_t num_sets_;
+  std::uint32_t assoc_;
+  std::uint64_t sets_log2_;
+  std::uint64_t lru_clock_ = 0;
+  std::vector<Way> ways_;  // num_sets_ * assoc_, row-major by set
+  CacheStats stats_;
+};
+
+}  // namespace coperf::sim

@@ -1,0 +1,155 @@
+#include "sim/hierarchy.hpp"
+
+namespace coperf::sim {
+
+MemorySystem::MemorySystem(const MachineConfig& cfg)
+    : cfg_(cfg),
+      l3_(std::make_unique<Cache>("L3", cfg.l3, /*hashed_index=*/true)),
+      channel_(cfg.bytes_per_cycle(), cfg.dram_latency_cycles) {
+  cfg_.validate();
+  l1_.reserve(cfg.num_cores);
+  l2_.reserve(cfg.num_cores);
+  banks_.reserve(cfg.num_cores);
+  for (unsigned c = 0; c < cfg.num_cores; ++c) {
+    l1_.push_back(std::make_unique<Cache>("L1D#" + std::to_string(c), cfg.l1d));
+    l2_.push_back(std::make_unique<Cache>("L2#" + std::to_string(c), cfg.l2));
+    banks_.push_back(std::make_unique<PrefetcherBank>(
+        cfg.prefetch, cfg.streamer_degree, cfg.streamer_train));
+  }
+  scratch_.reserve(16);
+  core_next_free_.assign(cfg.num_cores, 0.0);
+  core_cycles_per_line_ =
+      static_cast<double>(kLineBytes) / (cfg.per_core_bw_gbs / cfg.freq_ghz);
+}
+
+Cycle MemorySystem::core_gate(unsigned core, Cycle now) {
+  double& nf = core_next_free_[core];
+  const double start = std::max(static_cast<double>(now), nf);
+  nf = start + core_cycles_per_line_;
+  return static_cast<Cycle>(start);
+}
+
+void MemorySystem::set_prefetch_mask(const PrefetchMask& m) {
+  cfg_.prefetch = m;
+  for (auto& b : banks_) b->set_mask(m);
+}
+
+void MemorySystem::handle_l3_eviction(const CacheResult& r, Cycle now) {
+  if (!r.evicted) return;
+  bool dirty = r.evicted_dirty;
+  if (cfg_.l3_inclusive) {
+    // Inclusion victims: the line must leave every private cache too.
+    for (unsigned c = 0; c < cfg_.num_cores; ++c) {
+      if (auto inv = l1_[c]->invalidate(r.evicted_line); inv.dirty) dirty = true;
+      if (auto inv = l2_[c]->invalidate(r.evicted_line); inv.dirty) dirty = true;
+    }
+  }
+  if (dirty)
+    channel_.write(now, kLineBytes, app_of(r.evicted_line << kLineBytesLog2));
+}
+
+Cycle MemorySystem::fetch_to_l3(unsigned core, Addr line, Cycle now,
+                                bool from_prefetch) {
+  const Cycle issue = core_gate(core, now);
+  const Cycle done =
+      channel_.read(issue, kLineBytes, app_of(line << kLineBytesLog2));
+  const CacheResult fill = l3_->fill(line, /*dirty=*/false, from_prefetch);
+  handle_l3_eviction(fill, now);
+  return done;
+}
+
+void MemorySystem::fill_l2(unsigned core, Addr line, bool from_prefetch) {
+  const CacheResult fill = l2_[core]->fill(line, /*dirty=*/false, from_prefetch);
+  if (fill.evicted && fill.evicted_dirty) {
+    // Write the dirty L2 victim back into the (inclusive) L3; if the L3
+    // already dropped it, the traffic went to memory at that point.
+    if (l3_->probe(fill.evicted_line)) l3_->mark_dirty(fill.evicted_line);
+  }
+}
+
+void MemorySystem::fill_l1(unsigned core, Addr line, bool dirty, bool from_prefetch) {
+  const CacheResult fill = l1_[core]->fill(line, dirty, from_prefetch);
+  if (fill.evicted && fill.evicted_dirty) {
+    if (l2_[core]->probe(fill.evicted_line))
+      l2_[core]->mark_dirty(fill.evicted_line);
+    else if (l3_->probe(fill.evicted_line))
+      l3_->mark_dirty(fill.evicted_line);
+  }
+}
+
+void MemorySystem::run_prefetches(unsigned core, Cycle now) {
+  last_prefetches_ = 0;
+  if (scratch_.empty()) return;
+  for (const PrefetchRequest& req : scratch_) {
+    // Demand priority: prefetch only into an idle core gate, and back
+    // off entirely when the socket is congested.
+    if (core_backlog(core, now) > kPrefetchDropCoreBacklog) break;
+    if (channel_.backlog(now) > kPrefetchDropBacklog) break;
+    if (req.level == PrefetchLevel::L1) {
+      if (l1_[core]->probe(req.line)) continue;
+      if (!l2_[core]->probe(req.line)) {
+        if (!l3_->probe(req.line)) (void)fetch_to_l3(core, req.line, now, true);
+        fill_l2(core, req.line, true);
+      }
+      fill_l1(core, req.line, /*dirty=*/false, true);
+    } else {
+      if (l2_[core]->probe(req.line)) continue;
+      if (!l3_->probe(req.line)) (void)fetch_to_l3(core, req.line, now, true);
+      fill_l2(core, req.line, true);
+    }
+    ++last_prefetches_;
+  }
+  scratch_.clear();
+}
+
+AccessOutcome MemorySystem::demand_access(unsigned core, Addr addr,
+                                          std::uint16_t pc, bool is_write,
+                                          Cycle now, bool allocate) {
+  AccessOutcome out;
+  const Addr line = line_of(addr);
+  scratch_.clear();
+
+  Cache& l1 = *l1_[core];
+  const CacheResult r1 = l1.access(line, is_write);
+  if (allocate) banks_[core]->on_l1_access(addr, pc, !r1.hit, scratch_);
+  if (r1.hit) {
+    out.level = HitLevel::L1;
+    out.latency = 0;
+    run_prefetches(core, now);
+    return out;
+  }
+
+  Cache& l2 = *l2_[core];
+  const CacheResult r2 = l2.access(line, /*is_write=*/false);
+  if (r2.hit) {
+    out.level = HitLevel::L2;
+    out.latency = cfg_.l2.latency_cycles;
+    fill_l1(core, line, is_write, false);
+    run_prefetches(core, now);
+    return out;
+  }
+
+  if (allocate) banks_[core]->on_l2_miss(line, scratch_);
+  out.l2_miss = true;
+
+  const CacheResult r3 = l3_->access(line, /*is_write=*/false);
+  if (r3.hit) {
+    out.level = HitLevel::L3;
+    out.latency = cfg_.l3.latency_cycles;
+  } else {
+    out.level = HitLevel::Mem;
+    // L3 tag check precedes DRAM; the per-core bucket gates issue.
+    const Cycle issued = core_gate(core, now + cfg_.l3.latency_cycles);
+    const Cycle done = channel_.read(issued, kLineBytes, app_of(addr));
+    out.latency = static_cast<std::uint32_t>(done - now);
+    if (!allocate) return out;  // non-temporal: no displacement anywhere
+    const CacheResult fill = l3_->fill(line, /*dirty=*/false, false);
+    handle_l3_eviction(fill, now);
+  }
+  fill_l2(core, line, false);
+  fill_l1(core, line, is_write, false);
+  run_prefetches(core, now);
+  return out;
+}
+
+}  // namespace coperf::sim

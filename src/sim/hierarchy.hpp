@@ -1,0 +1,100 @@
+// MemorySystem: the full cache/memory hierarchy shared by all cores.
+//
+// Private L1-D and L2 per core, one shared (optionally inclusive) L3,
+// one DRAM channel, and one prefetcher bank per core. This is the
+// paper's contention substrate: co-running applications meet here, in
+// the LLC and on the memory bus, and nowhere else (Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/addr.hpp"
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/memory.hpp"
+#include "sim/prefetcher.hpp"
+
+namespace coperf::sim {
+
+/// Where a demand access was satisfied.
+enum class HitLevel : std::uint8_t { L1 = 1, L2 = 2, L3 = 3, Mem = 4 };
+
+struct AccessOutcome {
+  HitLevel level = HitLevel::L1;
+  std::uint32_t latency = 0;  ///< load-to-use cycles (0 for L1 hits: folded into base CPI)
+  bool l2_miss = false;       ///< access went past the private L2
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MachineConfig& cfg);
+
+  /// Demand load/store from `core` at local time `now`. Updates all
+  /// cache state, trains prefetchers, issues their requests, and
+  /// returns where the data came from and how long it took.
+  /// `allocate == false` models set-conflicting / non-temporal traffic:
+  /// the access still probes the hierarchy but a full miss goes to DRAM
+  /// without displacing any cached line.
+  AccessOutcome demand_access(unsigned core, Addr addr, std::uint16_t pc,
+                              bool is_write, Cycle now, bool allocate = true);
+
+  /// Number of prefetch lines brought in by the last demand_access call
+  /// (for the issuing core's statistics).
+  std::uint32_t last_prefetches() const { return last_prefetches_; }
+
+  Cache& l1(unsigned core) { return *l1_[core]; }
+  Cache& l2(unsigned core) { return *l2_[core]; }
+  Cache& l3() { return *l3_; }
+  const Cache& l3() const { return *l3_; }
+  MemoryChannel& channel() { return channel_; }
+  const MemoryChannel& channel() const { return channel_; }
+  PrefetcherBank& prefetcher(unsigned core) { return *banks_[core]; }
+
+  void set_prefetch_mask(const PrefetchMask& m);
+
+  const MachineConfig& config() const { return cfg_; }
+
+ private:
+  /// Gates a request through `core`'s private bandwidth bucket (a core
+  /// cannot pull more than per_core_bw_gbs from the socket).
+  Cycle core_gate(unsigned core, Cycle now);
+  /// Cycles until `core`'s bucket frees at `now`.
+  Cycle core_backlog(unsigned core, Cycle now) const {
+    const double nf = core_next_free_[core];
+    return nf > static_cast<double>(now)
+               ? static_cast<Cycle>(nf - static_cast<double>(now))
+               : 0;
+  }
+
+  /// Brings `line` into the L3 (and handles inclusion back-invalidation
+  /// plus dirty writebacks of evicted lines). Returns completion time.
+  Cycle fetch_to_l3(unsigned core, Addr line, Cycle now, bool from_prefetch);
+  void fill_l2(unsigned core, Addr line, bool from_prefetch);
+  void fill_l1(unsigned core, Addr line, bool dirty, bool from_prefetch);
+  void handle_l3_eviction(const CacheResult& r, Cycle now);
+  void run_prefetches(unsigned core, Cycle now);
+
+  MachineConfig cfg_;
+  std::vector<std::unique_ptr<Cache>> l1_;
+  std::vector<std::unique_ptr<Cache>> l2_;
+  std::unique_ptr<Cache> l3_;
+  MemoryChannel channel_;
+  std::vector<double> core_next_free_;  ///< per-core bandwidth buckets
+  double core_cycles_per_line_ = 0.0;
+  std::vector<std::unique_ptr<PrefetcherBank>> banks_;
+  std::vector<PrefetchRequest> scratch_;  // reused per access, allocation-free
+  std::uint32_t last_prefetches_ = 0;
+
+  /// Prefetches are dropped when the global channel backlog exceeds
+  /// this many cycles (socket-level prefetch throttling).
+  static constexpr Cycle kPrefetchDropBacklog = 700;
+  /// ...and, more importantly, when the issuing core's own bandwidth
+  /// gate is still busy: demand misses have priority, so prefetch can
+  /// never queue ahead of them at the core (useless prefetches on
+  /// irregular code would otherwise inflate every demand latency).
+  static constexpr Cycle kPrefetchDropCoreBacklog = 300;
+};
+
+}  // namespace coperf::sim

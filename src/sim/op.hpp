@@ -1,0 +1,89 @@
+// The micro-trace "ISA" consumed by the core timing model.
+//
+// Workload models emit streams of these ops (via coroutines in
+// src/wl/); the core replays them against the cache hierarchy and
+// memory channel. This is the boundary between the workload layer and
+// the machine layer: sim/ knows nothing about graphs or GEMMs, only
+// about compute bursts, loads/stores with dependence classes,
+// barriers, and region markers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/addr.hpp"
+
+namespace coperf::sim {
+
+enum class OpKind : std::uint8_t {
+  Compute,  ///< `count` back-to-back non-memory uops
+  Load,     ///< one demand load of `addr`
+  Store,    ///< one demand store to `addr`
+  Barrier,  ///< synchronize with all threads of the same application
+  Region,   ///< enter profiling region `region` (VTune hot-spot analogue)
+};
+
+/// Dependence/locality class of a memory access, controlling how much
+/// of its latency the core can hide and whether it allocates cache
+/// space (Section VI of the paper attributes graph victimhood to
+/// exactly these distinctions).
+enum class Dep : std::uint8_t {
+  Indep,  ///< independent of recent loads; overlaps up to the MLP window
+  Chain,  ///< data-dependent on the previous load (pointer chasing); serializes
+  /// Independent AND non-allocating: the access set-conflicts with its
+  /// predecessors (Bandit) or is explicitly non-temporal, so it reaches
+  /// DRAM without displacing shared-cache contents.
+  Bypass,
+};
+
+/// One trace operation. Kept at 16 bytes so refill buffers stay compact.
+struct Op {
+  OpKind kind = OpKind::Compute;
+  Dep dep = Dep::Indep;
+  std::uint16_t pc = 0;    ///< synthetic instruction-pointer id (IP prefetcher, profiling)
+  std::uint32_t count = 0; ///< Compute: uop count; Region: region id
+  Addr addr = 0;
+
+  static Op compute(std::uint32_t uops) {
+    return Op{OpKind::Compute, Dep::Indep, 0, uops, 0};
+  }
+  static Op load(Addr a, std::uint16_t pc, Dep d = Dep::Indep) {
+    return Op{OpKind::Load, d, pc, 0, a};
+  }
+  static Op store(Addr a, std::uint16_t pc) {
+    return Op{OpKind::Store, Dep::Indep, pc, 0, a};
+  }
+  static Op barrier() { return Op{OpKind::Barrier, Dep::Indep, 0, 0, 0}; }
+  static Op region(std::uint32_t id) {
+    return Op{OpKind::Region, Dep::Indep, 0, id, 0};
+  }
+};
+static_assert(sizeof(Op) == 16, "Op should stay a compact 16-byte POD");
+
+/// Per-thread execution attributes supplied by the workload model.
+struct ThreadAttr {
+  /// Average cycles per non-memory uop (captures issue width / FP mix).
+  double cpi_base = 0.5;
+  /// Maximum overlapped outstanding misses this code sustains
+  /// (min'd with the machine's MSHR count).
+  std::uint32_t mlp = 8;
+};
+
+/// Pull-interface the core uses to obtain trace ops. Implemented by the
+/// workload layer's coroutine pump. refill() returning 0 means the
+/// thread has finished its work for this run.
+class OpSource {
+ public:
+  virtual ~OpSource() = default;
+  virtual std::size_t refill(Op* buf, std::size_t max) = 0;
+  virtual ThreadAttr attr() const = 0;
+
+  /// Called by the core when the thread's most recent Barrier op
+  /// completed (the barrier released). Trace generators that run ahead
+  /// of simulated time use this to hold back post-barrier work: shared
+  /// per-epoch state (work queues, frontiers) must not be touched until
+  /// every sibling reached the barrier in simulated time.
+  virtual void barrier_passed() {}
+};
+
+}  // namespace coperf::sim

@@ -1,0 +1,84 @@
+// The four Sandy Bridge hardware prefetchers (Section IV-C):
+//   - L1-D next-line (DCU) prefetcher
+//   - L1-D IP-stride prefetcher
+//   - L2 streamer ("L2 hardware prefetcher")
+//   - L2 adjacent-cache-line (buddy) prefetcher
+// One PrefetcherBank instance sits next to each core, like the per-core
+// MSR 0x1A4 control the paper toggles.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/addr.hpp"
+#include "sim/config.hpp"
+
+namespace coperf::sim {
+
+/// Target level of a generated prefetch.
+enum class PrefetchLevel : std::uint8_t { L1, L2 };
+
+struct PrefetchRequest {
+  Addr line = 0;
+  PrefetchLevel level = PrefetchLevel::L2;
+};
+
+/// Per-core bank of the four prefetchers. Callers invoke the on_*
+/// hooks during demand accesses; generated requests are appended to the
+/// caller-owned vector (kept allocation-free in steady state).
+class PrefetcherBank {
+ public:
+  PrefetcherBank(const PrefetchMask& mask, std::uint32_t streamer_degree,
+                 std::uint32_t streamer_train);
+
+  /// Demand L1-D access (both hits and misses train the IP prefetcher;
+  /// only misses trigger the next-line prefetcher).
+  void on_l1_access(Addr addr, std::uint16_t pc, bool miss,
+                    std::vector<PrefetchRequest>& out);
+
+  /// Demand L2 miss (trains the streamer, fires the adjacent prefetcher).
+  void on_l2_miss(Addr line, std::vector<PrefetchRequest>& out);
+
+  const PrefetchMask& mask() const { return mask_; }
+  void set_mask(const PrefetchMask& m) { mask_ = m; }
+
+  std::uint64_t issued() const { return issued_; }
+  void reset();
+
+ private:
+  // --- L1 IP-stride state ---------------------------------------------
+  struct IpEntry {
+    std::uint16_t pc = 0;
+    Addr last_addr = 0;
+    std::int64_t stride = 0;
+    std::uint8_t confidence = 0;
+    bool valid = false;
+  };
+  static constexpr std::size_t kIpTableSize = 256;
+  static constexpr std::uint8_t kIpConfidenceThreshold = 2;
+
+  // --- L2 streamer state ------------------------------------------------
+  struct StreamEntry {
+    Addr page = 0;            // 4 KiB page number
+    Addr last_line = 0;
+    std::int8_t direction = 0;  // +1 / -1
+    std::uint8_t run = 0;       // consecutive sequential misses seen
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+  static constexpr std::size_t kStreamTableSize = 16;
+
+  void emit(Addr line, PrefetchLevel level, std::vector<PrefetchRequest>& out);
+
+  Addr last_l1_miss_line_ = ~Addr{0};
+  PrefetchMask mask_;
+  std::uint32_t degree_;
+  std::uint32_t train_;
+  std::array<IpEntry, kIpTableSize> ip_table_{};
+  std::array<StreamEntry, kStreamTableSize> streams_{};
+  std::uint64_t stream_clock_ = 0;
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace coperf::sim

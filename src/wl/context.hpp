@@ -1,0 +1,175 @@
+// ThreadCtx + CoroSource: the pump between workload coroutines and the
+// core timing model.
+//
+// A workload thread body receives a ThreadCtx& and emits trace ops with
+//   co_await ctx.load(addr, pc);
+//   co_await ctx.compute(n);
+//   co_await ctx.barrier();
+// Each emit is buffered; the coroutine suspends only when the buffer is
+// full. CoroSource drains the buffer through sim::OpSource::refill and
+// resumes the coroutine when empty.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/op.hpp"
+#include "wl/coro.hpp"
+
+namespace coperf::wl {
+
+class ThreadCtx {
+ public:
+  static constexpr std::size_t kCap = 8192;
+  /// Largest uop burst packed into a single Compute op; bounds how far
+  /// one op can advance a core past its quantum.
+  static constexpr std::uint32_t kComputeChunk = 2048;
+
+  ThreadCtx() { buf_.reserve(kCap); }
+  ThreadCtx(const ThreadCtx&) = delete;
+  ThreadCtx& operator=(const ThreadCtx&) = delete;
+
+  bool full() const { return buf_.size() >= kCap; }
+  bool empty() const { return head_ >= buf_.size(); }
+
+  /// Copies up to `max` buffered ops to `out`; returns the count.
+  std::size_t drain(sim::Op* out, std::size_t max) {
+    const std::size_t avail = buf_.size() - head_;
+    const std::size_t n = avail < max ? avail : max;
+    for (std::size_t i = 0; i < n; ++i) out[i] = buf_[head_ + i];
+    head_ += n;
+    if (head_ >= buf_.size()) {
+      buf_.clear();
+      head_ = 0;
+    }
+    return n;
+  }
+
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+    at_barrier_ = false;
+  }
+
+  /// True while the body is parked at a barrier: the pump must not
+  /// resume it until the core reports the barrier released (otherwise
+  /// the generator -- which runs ahead of simulated time -- would touch
+  /// next-epoch shared state while siblings are still in this epoch).
+  bool at_barrier() const { return at_barrier_; }
+  void barrier_released() { at_barrier_ = false; }
+
+  // ---- awaitable emitters --------------------------------------------
+
+  /// Single-op emitter: pushes in await_ready when space is available,
+  /// otherwise suspends and pushes right after the pump drains.
+  struct [[nodiscard]] Emit {
+    ThreadCtx* c;
+    sim::Op op;
+    bool pushed = false;
+    bool await_ready() {
+      if (!c->full()) {
+        c->buf_.push_back(op);
+        pushed = true;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<>) noexcept {}
+    void await_resume() {
+      if (!pushed) c->buf_.push_back(op);
+    }
+  };
+
+  /// Multi-chunk compute emitter (splits big bursts into kComputeChunk
+  /// pieces for quantum fairness).
+  struct [[nodiscard]] EmitCompute {
+    ThreadCtx* c;
+    std::uint64_t remaining;
+    bool await_ready() {
+      push_some();
+      return remaining == 0;
+    }
+    void await_suspend(std::coroutine_handle<>) noexcept {}
+    void await_resume() {
+      push_some();
+      // The pump resumes only on an empty buffer (capacity kCap ops >=
+      // any residual chunk count), so one suspension always suffices.
+      assert(remaining == 0 && "compute burst larger than buffer capacity");
+    }
+    void push_some() {
+      while (remaining > 0 && !c->full()) {
+        const auto n = remaining < kComputeChunk
+                           ? static_cast<std::uint32_t>(remaining)
+                           : kComputeChunk;
+        c->buf_.push_back(sim::Op::compute(n));
+        remaining -= n;
+      }
+    }
+  };
+
+  Emit load(sim::Addr a, std::uint16_t pc, sim::Dep dep = sim::Dep::Indep) {
+    return Emit{this, sim::Op::load(a, pc, dep)};
+  }
+  Emit store(sim::Addr a, std::uint16_t pc) {
+    return Emit{this, sim::Op::store(a, pc)};
+  }
+  /// Barrier emitter: pushes the op and ALWAYS suspends; the pump keeps
+  /// the body suspended until the core passes the barrier.
+  struct [[nodiscard]] EmitBarrier {
+    ThreadCtx* c;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) {
+      c->buf_.push_back(sim::Op::barrier());
+      c->at_barrier_ = true;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  EmitCompute compute(std::uint64_t uops) { return EmitCompute{this, uops}; }
+  EmitBarrier barrier() { return EmitBarrier{this}; }
+  Emit region(std::uint32_t id) { return Emit{this, sim::Op::region(id)}; }
+
+ private:
+  std::vector<sim::Op> buf_;
+  std::size_t head_ = 0;
+  bool at_barrier_ = false;
+};
+
+/// sim::OpSource implemented by pumping a workload coroutine.
+class CoroSource final : public sim::OpSource {
+ public:
+  using Factory = std::function<TraceGen(ThreadCtx&)>;
+
+  CoroSource(Factory factory, sim::ThreadAttr attr)
+      : factory_(std::move(factory)), attr_(attr) {}
+
+  /// Arms (or re-arms) the source for a fresh run of the thread body.
+  void rearm() {
+    ctx_.clear();
+    gen_.emplace(factory_(ctx_));
+  }
+
+  std::size_t refill(sim::Op* buf, std::size_t max) override {
+    for (;;) {
+      if (const std::size_t n = ctx_.drain(buf, max); n != 0) return n;
+      if (ctx_.at_barrier() || !gen_ || gen_->done()) return 0;
+      gen_->resume();
+      if (ctx_.empty() && gen_->done()) return 0;
+    }
+  }
+
+  void barrier_passed() override { ctx_.barrier_released(); }
+
+  sim::ThreadAttr attr() const override { return attr_; }
+
+ private:
+  Factory factory_;
+  sim::ThreadAttr attr_;
+  ThreadCtx ctx_;
+  std::optional<TraceGen> gen_;
+};
+
+}  // namespace coperf::wl

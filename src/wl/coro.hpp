@@ -1,0 +1,66 @@
+// TraceGen: the coroutine type used by workload thread bodies.
+//
+// A workload thread is written as straight-line C++ that co_awaits
+// every emitted trace op; the coroutine suspends only when the
+// per-thread op buffer fills, so resume overhead amortizes over
+// thousands of ops. The pump (CoroSource in context.hpp) implements
+// sim::OpSource on top.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace coperf::wl {
+
+class TraceGen {
+ public:
+  struct promise_type {
+    std::exception_ptr exception;
+
+    TraceGen get_return_object() {
+      return TraceGen{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  TraceGen() = default;
+  explicit TraceGen(std::coroutine_handle<promise_type> h) : h_(h) {}
+  TraceGen(TraceGen&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  TraceGen& operator=(TraceGen&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  TraceGen(const TraceGen&) = delete;
+  TraceGen& operator=(const TraceGen&) = delete;
+  ~TraceGen() { destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+  bool done() const { return !h_ || h_.done(); }
+
+  /// Resumes the body until it suspends (buffer full) or finishes.
+  /// Rethrows any exception the body raised.
+  void resume() {
+    if (done()) return;
+    h_.resume();
+    if (h_.done() && h_.promise().exception)
+      std::rethrow_exception(h_.promise().exception);
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace coperf::wl

@@ -1,0 +1,23 @@
+// Small helpers for trace emission shared by workload models.
+#pragma once
+
+#include "sim/addr.hpp"
+
+namespace coperf::wl {
+
+/// Deduplicates demand loads within a streaming scan: touch() returns
+/// true exactly when the address enters a new cache line, so sequential
+/// sweeps emit one load per line (the unit the memory system moves)
+/// instead of one per element.
+struct LineTracker {
+  sim::Addr last = ~sim::Addr{0};
+  bool touch(sim::Addr a) {
+    const sim::Addr line = sim::line_of(a);
+    if (line == last) return false;
+    last = line;
+    return true;
+  }
+  void reset() { last = ~sim::Addr{0}; }
+};
+
+}  // namespace coperf::wl

@@ -1,0 +1,207 @@
+#include "wl/graph/csr.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <tuple>
+
+#include "util/rng.hpp"
+
+namespace coperf::wl::graph {
+
+std::uint32_t Graph::max_degree_vertex() const {
+  std::uint32_t best = 0;
+  std::uint32_t best_deg = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (const auto d = out_degree(v); d > best_deg) {
+      best_deg = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+std::size_t Graph::bytes() const {
+  return out_offsets.size() * sizeof(std::uint64_t) +
+         out_targets.size() * sizeof(std::uint32_t) +
+         in_offsets.size() * sizeof(std::uint64_t) +
+         in_sources.size() * sizeof(std::uint32_t) +
+         weights.size() * sizeof(float);
+}
+
+namespace {
+
+/// One R-MAT edge: recursively descend the adjacency matrix quadrants.
+std::pair<std::uint32_t, std::uint32_t> rmat_edge(util::SplitMix64& rng,
+                                                  std::uint32_t scale) {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  for (std::uint32_t bit = 0; bit < scale; ++bit) {
+    const double r = rng.uniform();
+    // a=0.57, b=0.19, c=0.19, d=0.05 with per-level noise to avoid
+    // artificial self-similarity (standard Graph500 practice).
+    const double noise = 0.05 * (rng.uniform() - 0.5);
+    const double a = 0.57 + noise;
+    const double b = 0.19;
+    const double c = 0.19;
+    src <<= 1;
+    dst <<= 1;
+    if (r < a) {
+      // top-left: nothing
+    } else if (r < a + b) {
+      dst |= 1;
+    } else if (r < a + b + c) {
+      src |= 1;
+    } else {
+      src |= 1;
+      dst |= 1;
+    }
+  }
+  return {src, dst};
+}
+
+void build_csr(std::uint32_t n,
+               const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges,
+               std::vector<std::uint64_t>& offsets,
+               std::vector<std::uint32_t>& adjacency, bool by_source) {
+  offsets.assign(n + 1, 0);
+  for (const auto& [s, d] : edges) ++offsets[(by_source ? s : d) + 1];
+  for (std::uint32_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  adjacency.resize(edges.size());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [s, d] : edges) {
+    const std::uint32_t key = by_source ? s : d;
+    adjacency[cursor[key]++] = by_source ? d : s;
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const Graph> make_rmat(const GraphSpec& spec) {
+  util::SplitMix64 rng{util::seed_combine(spec.seed, spec.scale)};
+  const std::uint32_t n = 1u << spec.scale;
+  const std::uint64_t m_base = std::uint64_t{n} * spec.avg_degree /
+                               (spec.symmetric ? 2 : 1);
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(spec.symmetric ? 2 * m_base : m_base);
+  for (std::uint64_t e = 0; e < m_base; ++e) {
+    auto [s, d] = rmat_edge(rng, spec.scale);
+    if (s == d) d = (d + 1) & (n - 1);  // drop self loops
+    edges.emplace_back(s, d);
+    if (spec.symmetric) edges.emplace_back(d, s);
+  }
+
+  auto g = std::make_shared<Graph>();
+  g->n = n;
+  g->m = edges.size();
+  build_csr(n, edges, g->out_offsets, g->out_targets, /*by_source=*/true);
+  build_csr(n, edges, g->in_offsets, g->in_sources, /*by_source=*/false);
+
+  g->weights.resize(g->m);
+  util::SplitMix64 wrng{util::seed_combine(spec.seed, 0x57ull)};
+  for (auto& w : g->weights)
+    w = 1.0f + static_cast<float>(wrng.below(16));
+  return g;
+}
+
+std::vector<std::int64_t> host_bfs_levels(const Graph& g, std::uint32_t root) {
+  std::vector<std::int64_t> level(g.n, -1);
+  std::queue<std::uint32_t> q;
+  level[root] = 0;
+  q.push(root);
+  while (!q.empty()) {
+    const std::uint32_t u = q.front();
+    q.pop();
+    for (std::uint64_t k = g.out_offsets[u]; k < g.out_offsets[u + 1]; ++k) {
+      const std::uint32_t v = g.out_targets[k];
+      if (level[v] < 0) {
+        level[v] = level[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<double> host_dijkstra(const Graph& g, std::uint32_t root) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.n, kInf);
+  using Entry = std::pair<double, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[root] = 0.0;
+  pq.emplace(0.0, root);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (std::uint64_t k = g.out_offsets[u]; k < g.out_offsets[u + 1]; ++k) {
+      const std::uint32_t v = g.out_targets[k];
+      const double cand = d + g.weights[k];
+      if (cand < dist[v]) {
+        dist[v] = cand;
+        pq.emplace(cand, v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> host_components(const Graph& g) {
+  std::vector<std::uint32_t> parent(g.n);
+  for (std::uint32_t v = 0; v < g.n; ++v) parent[v] = v;
+  auto find = [&](std::uint32_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (std::uint32_t u = 0; u < g.n; ++u)
+    for (std::uint64_t k = g.out_offsets[u]; k < g.out_offsets[u + 1]; ++k) {
+      const std::uint32_t a = find(u);
+      const std::uint32_t b = find(g.out_targets[k]);
+      if (a != b) parent[std::max(a, b)] = std::min(a, b);
+    }
+  std::vector<std::uint32_t> rep(g.n);
+  for (std::uint32_t v = 0; v < g.n; ++v) rep[v] = find(v);
+  return rep;
+}
+
+std::vector<double> host_pagerank(const Graph& g, std::uint32_t iters) {
+  const double base = 0.15 / g.n;
+  std::vector<double> rank(g.n, 1.0 / g.n);
+  std::vector<double> scaled(g.n, 0.0);
+  for (std::uint32_t v = 0; v < g.n; ++v) {
+    const auto deg = g.out_degree(v);
+    scaled[v] = deg > 0 ? rank[v] / deg : 0.0;
+  }
+  for (std::uint32_t it = 0; it < iters; ++it) {
+    for (std::uint32_t dst = 0; dst < g.n; ++dst) {
+      double sum = 0.0;
+      for (std::uint64_t k = g.in_offsets[dst]; k < g.in_offsets[dst + 1]; ++k)
+        sum += scaled[g.in_sources[k]];
+      rank[dst] = base + 0.85 * sum;
+    }
+    for (std::uint32_t v = 0; v < g.n; ++v) {
+      const auto deg = g.out_degree(v);
+      scaled[v] = deg > 0 ? rank[v] / deg : 0.0;
+    }
+  }
+  return rank;
+}
+
+std::shared_ptr<const Graph> rmat_cached(const GraphSpec& spec) {
+  using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint64_t, bool>;
+  static std::mutex mu;
+  static std::map<Key, std::shared_ptr<const Graph>> cache;
+  const Key key{spec.scale, spec.avg_degree, spec.seed, spec.symmetric};
+  std::lock_guard lock{mu};
+  auto& slot = cache[key];
+  if (!slot) slot = make_rmat(spec);
+  return slot;
+}
+
+}  // namespace coperf::wl::graph

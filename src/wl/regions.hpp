@@ -1,0 +1,58 @@
+// Global registry of profiling-region names.
+//
+// Workload models tag code regions the way the paper attributes VTune
+// samples to hot spots (e.g. PowerGraph PageRank's `gather` at
+// pagerank.c L63-66). Region ids are process-global and stable for the
+// process lifetime.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace coperf::wl {
+
+class Regions {
+ public:
+  static Regions& instance() {
+    static Regions r;
+    return r;
+  }
+
+  /// Returns the stable id for `name`, creating it on first use.
+  /// Id 0 is reserved for the implicit "untagged" region.
+  std::uint32_t id(std::string_view name) {
+    std::lock_guard lock{mu_};
+    if (auto it = by_name_.find(std::string{name}); it != by_name_.end())
+      return it->second;
+    const auto new_id = static_cast<std::uint32_t>(names_.size());
+    names_.emplace_back(name);
+    by_name_.emplace(names_.back(), new_id);
+    return new_id;
+  }
+
+  std::string name(std::uint32_t id) const {
+    std::lock_guard lock{mu_};
+    return id < names_.size() ? names_[id] : "<unknown region>";
+  }
+
+ private:
+  Regions() {
+    names_.emplace_back("<untagged>");
+    by_name_.emplace("<untagged>", 0u);
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> by_name_;
+};
+
+/// Convenience: region id lookup.
+inline std::uint32_t region_id(std::string_view name) {
+  return Regions::instance().id(name);
+}
+
+}  // namespace coperf::wl

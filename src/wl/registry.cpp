@@ -1,0 +1,76 @@
+#include "wl/registry.hpp"
+
+#include <array>
+#include <mutex>
+#include <stdexcept>
+
+#include "wl/suites.hpp"
+
+namespace coperf::wl {
+
+Registry& Registry::instance() {
+  static Registry r;
+  static std::once_flag once;
+  std::call_once(once, [] { register_all_workloads(r); });
+  return r;
+}
+
+void Registry::add(WorkloadInfo info) {
+  if (find(info.name) != nullptr)
+    throw std::logic_error{"workload registered twice: " + info.name};
+  infos_.push_back(std::move(info));
+}
+
+const WorkloadInfo* Registry::find(std::string_view name) const {
+  for (const auto& w : infos_)
+    if (w.name == name) return &w;
+  return nullptr;
+}
+
+const WorkloadInfo& Registry::at(std::string_view name) const {
+  if (const WorkloadInfo* w = find(name)) return *w;
+  throw std::out_of_range{"unknown workload: " + std::string{name} +
+                          " (see Registry::all for valid names)"};
+}
+
+std::vector<const WorkloadInfo*> Registry::applications() const {
+  // The paper's Fig. 5 axis order by suite.
+  static constexpr std::array kSuiteOrder = {
+      "GeminiGraph", "PowerGraph", "CNTK", "SPEC CPU2017", "PARSEC", "HPC"};
+  std::vector<const WorkloadInfo*> out;
+  for (const char* suite : kSuiteOrder)
+    for (const auto& w : infos_)
+      if (w.suite == suite) out.push_back(&w);
+  return out;
+}
+
+std::vector<const WorkloadInfo*> Registry::all() const {
+  std::vector<const WorkloadInfo*> out;
+  out.reserve(infos_.size());
+  for (const auto& w : infos_) out.push_back(&w);
+  return out;
+}
+
+std::vector<const WorkloadInfo*> Registry::suite(std::string_view suite) const {
+  std::vector<const WorkloadInfo*> out;
+  for (const auto& w : infos_)
+    if (w.suite == suite) out.push_back(&w);
+  return out;
+}
+
+std::unique_ptr<AppModel> Registry::create(std::string_view name,
+                                           const AppParams& p) const {
+  return at(name).make(p);
+}
+
+void register_all_workloads(Registry& r) {
+  register_gemini(r);
+  register_powergraph(r);
+  register_cntk(r);
+  register_parsec(r);
+  register_hpc(r);
+  register_spec(r);
+  register_mini(r);
+}
+
+}  // namespace coperf::wl

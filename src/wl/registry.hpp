@@ -1,0 +1,56 @@
+// Workload registry: the 25 applications of Table I plus the two
+// mini-benchmarks, addressable by their paper names (e.g. "G-PR",
+// "fotonik3d", "Stream").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wl/workload.hpp"
+
+namespace coperf::wl {
+
+struct WorkloadInfo {
+  std::string name;   ///< paper name, e.g. "G-CC"
+  std::string suite;  ///< "GeminiGraph", "PowerGraph", "CNTK", "PARSEC", "HPC", "SPEC CPU2017", "mini"
+  std::string description;
+  /// SPEC-rate-style parallelism: N threads = N independent copies.
+  bool rate_mode = false;
+  std::function<std::unique_ptr<AppModel>(const AppParams&)> make;
+};
+
+class Registry {
+ public:
+  /// Process-wide registry with all workloads registered.
+  static Registry& instance();
+
+  void add(WorkloadInfo info);
+
+  const WorkloadInfo* find(std::string_view name) const;
+  /// Like find(), but throws std::out_of_range with a helpful message.
+  const WorkloadInfo& at(std::string_view name) const;
+
+  /// All workloads in the paper's presentation order (Gemini,
+  /// PowerGraph, CNTK, SPEC, PARSEC, HPC -- the Fig. 5 axis order),
+  /// excluding the mini-benchmarks.
+  std::vector<const WorkloadInfo*> applications() const;
+  /// Everything, including Bandit/Stream.
+  std::vector<const WorkloadInfo*> all() const;
+  std::vector<const WorkloadInfo*> suite(std::string_view suite) const;
+
+  std::unique_ptr<AppModel> create(std::string_view name,
+                                   const AppParams& p) const;
+
+ private:
+  Registry() = default;
+  std::vector<WorkloadInfo> infos_;
+};
+
+/// Registers every workload model (idempotent; called by
+/// Registry::instance()).
+void register_all_workloads(Registry& r);
+
+}  // namespace coperf::wl

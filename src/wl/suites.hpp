@@ -1,0 +1,16 @@
+// Per-suite registration hooks (called by register_all_workloads).
+#pragma once
+
+namespace coperf::wl {
+
+class Registry;
+
+void register_mini(Registry& r);        // Bandit, Stream (Section III-B)
+void register_gemini(Registry& r);      // G-PR, G-BFS, G-BC, G-SSSP, G-CC
+void register_powergraph(Registry& r);  // P-PR, P-SSSP, P-CC
+void register_cntk(Registry& r);        // CIFAR, MNIST, LSTM, ATIS
+void register_parsec(Registry& r);      // blackscholes, freqmine, swaptions, streamcluster
+void register_hpc(Registry& r);         // lulesh, IRSmk, AMG2006
+void register_spec(Registry& r);        // mcf, fotonik3d, deepsjeng, nab, xalancbmk, cactuBSSN
+
+}  // namespace coperf::wl

@@ -1,0 +1,126 @@
+// Workload model base classes.
+//
+// An AppModel is one runnable instance of one of the paper's 27
+// programs: it owns the instance's simulated address space, its host
+// data, and one coroutine-backed OpSource per thread. WorkloadBase
+// provides the plumbing (source pumps, restart/rearm for background
+// loops); concrete models implement body() -- the per-thread trace
+// program -- and on_run_start() to reset per-run shared state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/op.hpp"
+#include "wl/context.hpp"
+#include "wl/sim_array.hpp"
+
+namespace coperf::wl {
+
+/// Input scale. Small is sized for MachineConfig::scaled(8) (the
+/// default experiment configuration); Native for the unscaled paper
+/// machine; Tiny for unit tests.
+enum class SizeClass : std::uint8_t { Tiny, Small, Native };
+
+/// Multiplier applied to Small-class sizes.
+constexpr double size_factor(SizeClass s) {
+  switch (s) {
+    case SizeClass::Tiny: return 1.0 / 16.0;
+    case SizeClass::Small: return 1.0;
+    case SizeClass::Native: return 8.0;
+  }
+  return 1.0;
+}
+
+struct AppParams {
+  sim::AppId app_id = 0;
+  unsigned threads = 4;
+  SizeClass size = SizeClass::Small;
+  std::uint64_t seed = 1;
+};
+
+class AppModel {
+ public:
+  virtual ~AppModel() = default;
+  virtual const std::string& name() const = 0;
+  /// One OpSource per thread, armed and ready to run. Stable pointers
+  /// across restart().
+  virtual std::vector<sim::OpSource*> sources() = 0;
+  /// Re-arms every thread for a fresh run (background loop semantics).
+  virtual void restart() = 0;
+  virtual unsigned threads() const = 0;
+  /// Total simulated bytes this instance allocated (its footprint).
+  virtual std::size_t footprint_bytes() const = 0;
+  /// Checks the algorithmic result of the last completed run against a
+  /// host reference (e.g. simulated SSSP vs. Dijkstra). Returns an
+  /// empty string on success, a diagnostic otherwise. Models whose
+  /// output is pure traffic (ghost data) return success.
+  virtual std::string verify() const { return {}; }
+};
+
+class WorkloadBase : public AppModel {
+ public:
+  WorkloadBase(std::string name, AppParams p, sim::ThreadAttr attr)
+      : name_(std::move(name)), params_(p), attr_(attr), space_(p.app_id) {}
+
+  const std::string& name() const final { return name_; }
+  unsigned threads() const final { return params_.threads; }
+
+  std::vector<sim::OpSource*> sources() final {
+    ensure_sources();
+    if (!armed_) arm();
+    std::vector<sim::OpSource*> out;
+    out.reserve(pumps_.size());
+    for (auto& p : pumps_) out.push_back(p.get());
+    return out;
+  }
+
+  void restart() final {
+    ensure_sources();
+    arm();
+  }
+
+  const AppParams& params() const { return params_; }
+  AddrSpace& space() { return space_; }
+  std::size_t footprint_bytes() const final { return space_.bytes_allocated(); }
+
+ protected:
+  /// The per-thread trace program.
+  virtual TraceGen body(ThreadCtx& ctx, unsigned tid) = 0;
+  /// Reset shared per-run state (frontiers, chunk cursors, ...).
+  virtual void on_run_start() {}
+
+ private:
+  void ensure_sources() {
+    if (!pumps_.empty()) return;
+    pumps_.reserve(params_.threads);
+    for (unsigned t = 0; t < params_.threads; ++t) {
+      pumps_.push_back(std::make_unique<CoroSource>(
+          [this, t](ThreadCtx& ctx) { return body(ctx, t); }, attr_));
+    }
+  }
+  void arm() {
+    on_run_start();
+    for (auto& p : pumps_) p->rearm();
+    armed_ = true;
+  }
+
+  std::string name_;
+  AppParams params_;
+  sim::ThreadAttr attr_;
+  AddrSpace space_;
+  std::vector<std::unique_ptr<CoroSource>> pumps_;
+  bool armed_ = false;
+};
+
+/// Scales a Small-class element count by SizeClass, with a floor.
+inline std::size_t scaled_size(std::size_t small_value, SizeClass s,
+                               std::size_t floor_value = 1) {
+  const auto v = static_cast<std::size_t>(
+      static_cast<double>(small_value) * size_factor(s));
+  return v < floor_value ? floor_value : v;
+}
+
+}  // namespace coperf::wl

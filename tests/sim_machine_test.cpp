@@ -1,0 +1,307 @@
+// Unit tests for the core timing model and the Machine event loop,
+// using hand-built OpSources (no workload layer).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace coperf::sim {
+namespace {
+
+/// Scripted op source for tests.
+class ScriptSource final : public OpSource {
+ public:
+  ScriptSource(std::vector<Op> ops, ThreadAttr attr = {1.0, 8})
+      : ops_(std::move(ops)), attr_(attr) {}
+
+  std::size_t refill(Op* buf, std::size_t max) override {
+    std::size_t n = 0;
+    while (n < max && pos_ < ops_.size()) buf[n++] = ops_[pos_++];
+    return n;
+  }
+  ThreadAttr attr() const override { return attr_; }
+  void rewind() { pos_ = 0; }
+
+ private:
+  std::vector<Op> ops_;
+  std::size_t pos_ = 0;
+  ThreadAttr attr_;
+};
+
+MachineConfig test_cfg(unsigned cores = 2) {
+  MachineConfig c;
+  c.num_cores = cores;
+  c.prefetch = PrefetchMask::all_off();
+  return c;
+}
+
+TEST(Machine, ComputeOnlyRunsAtBaseCpi) {
+  Machine m{test_cfg(1)};
+  ScriptSource src{{Op::compute(1000)}, ThreadAttr{1.0, 8}};
+  m.add_app(AppBinding{0, {0}, {&src}, nullptr, false});
+  const RunOutcome out = m.run();
+  EXPECT_GE(out.finish_cycle, 1000u);
+  EXPECT_LE(out.finish_cycle, 1100u);
+  const CoreStats s = m.core(0).snapshot();
+  EXPECT_EQ(s.instructions, 1000u);
+}
+
+TEST(Machine, FractionalCpiAccumulates) {
+  Machine m{test_cfg(1)};
+  ScriptSource src{{Op::compute(1000)}, ThreadAttr{0.5, 8}};
+  m.add_app(AppBinding{0, {0}, {&src}, nullptr, false});
+  const RunOutcome out = m.run();
+  EXPECT_GE(out.finish_cycle, 500u);
+  EXPECT_LE(out.finish_cycle, 600u);
+}
+
+TEST(Machine, ChainLoadsSerializeOnMemoryLatency) {
+  // 10 chain-dependent cold misses: runtime ~ 10 * (dram + l3 lat).
+  std::vector<Op> ops;
+  for (int i = 0; i < 10; ++i)
+    ops.push_back(Op::load(static_cast<Addr>(i) * 1'000'000, 1, Dep::Chain));
+  Machine m{test_cfg(1)};
+  ScriptSource src{ops};
+  m.add_app(AppBinding{0, {0}, {&src}, nullptr, false});
+  const RunOutcome out = m.run();
+  EXPECT_GT(out.finish_cycle, 10u * 200u);
+  const CoreStats s = m.core(0).snapshot();
+  EXPECT_EQ(s.l3_misses, 10u);
+  EXPECT_GT(s.stall_cycles_mem, 2000u);
+}
+
+TEST(Machine, IndependentLoadsOverlap) {
+  std::vector<Op> chain, indep;
+  for (int i = 0; i < 64; ++i) {
+    chain.push_back(Op::load(static_cast<Addr>(i) * 1'000'000, 1, Dep::Chain));
+    indep.push_back(Op::load(static_cast<Addr>(i) * 1'000'000, 1, Dep::Indep));
+  }
+  Cycle t_chain, t_indep;
+  {
+    Machine m{test_cfg(1)};
+    ScriptSource src{chain, ThreadAttr{1.0, 8}};
+    m.add_app(AppBinding{0, {0}, {&src}, nullptr, false});
+    t_chain = m.run().finish_cycle;
+  }
+  {
+    Machine m{test_cfg(1)};
+    ScriptSource src{indep, ThreadAttr{1.0, 8}};
+    m.add_app(AppBinding{0, {0}, {&src}, nullptr, false});
+    t_indep = m.run().finish_cycle;
+  }
+  EXPECT_LT(t_indep * 3, t_chain)
+      << "MLP window must overlap independent misses";
+}
+
+TEST(Machine, MlpCapLimitsOverlap) {
+  std::vector<Op> ops;
+  for (int i = 0; i < 64; ++i)
+    ops.push_back(Op::load(static_cast<Addr>(i) * 1'000'000, 1, Dep::Indep));
+  Cycle t_wide, t_narrow;
+  {
+    Machine m{test_cfg(1)};
+    ScriptSource src{ops, ThreadAttr{1.0, 10}};
+    m.add_app(AppBinding{0, {0}, {&src}, nullptr, false});
+    t_wide = m.run().finish_cycle;
+  }
+  {
+    Machine m{test_cfg(1)};
+    ScriptSource src{ops, ThreadAttr{1.0, 2}};
+    m.add_app(AppBinding{0, {0}, {&src}, nullptr, false});
+    t_narrow = m.run().finish_cycle;
+  }
+  EXPECT_LT(t_wide * 2, t_narrow) << "narrow MLP must run slower";
+}
+
+TEST(Machine, PendingCyclesTrackL2Misses) {
+  std::vector<Op> ops;
+  for (int i = 0; i < 20; ++i)
+    ops.push_back(Op::load(static_cast<Addr>(i) * 1'000'000, 1, Dep::Chain));
+  Machine m{test_cfg(1)};
+  ScriptSource src{ops};
+  m.add_app(AppBinding{0, {0}, {&src}, nullptr, false});
+  m.run();
+  const CoreStats s = m.core(0).snapshot();
+  EXPECT_GT(s.l2_pcp(), 0.8) << "pure miss chain must be ~100% pending";
+  EXPECT_LE(s.l2_pcp(), 1.0 + 1e-9);
+}
+
+TEST(Machine, L1HitsArePendingFree) {
+  // One cold miss, then 1000 L1 hits: the hits must advance time (one
+  // issue cycle each) without accumulating L2-miss-pending cycles.
+  std::vector<Op> ops;
+  ops.push_back(Op::load(0, 1, Dep::Indep));
+  for (int i = 0; i < 1000; ++i) ops.push_back(Op::load(8, 1, Dep::Indep));
+  Machine m{test_cfg(1)};
+  ScriptSource src{ops};
+  m.add_app(AppBinding{0, {0}, {&src}, nullptr, false});
+  m.run();
+  const CoreStats s = m.core(0).snapshot();
+  EXPECT_EQ(s.l1d_hits, 1000u);
+  EXPECT_GE(s.cycles, 1000u) << "memory ops must cost at least issue time";
+  EXPECT_LT(s.l2_pcp(), 0.5) << "L1 hits must not count as L2-pending";
+}
+
+TEST(Machine, BarrierSynchronizesThreads) {
+  // Thread 0 computes 10k, thread 1 computes 100; both then barrier and
+  // compute 100 more. Thread 1 must wait for thread 0.
+  Machine m{test_cfg(2)};
+  ScriptSource fast{{Op::compute(100), Op::barrier(), Op::compute(100)}};
+  ScriptSource slow{{Op::compute(10'000), Op::barrier(), Op::compute(100)}};
+  m.add_app(AppBinding{0, {0, 1}, {&fast, &slow}, nullptr, false});
+  const RunOutcome out = m.run();
+  EXPECT_GE(out.finish_cycle, 10'000u + Machine::barrier_overhead(2));
+  const CoreStats s_fast = m.core(0).snapshot();
+  EXPECT_GT(s_fast.barrier_wait_cycles, 9000u);
+}
+
+TEST(Machine, BarrierOverheadGrowsWithParties) {
+  EXPECT_EQ(Machine::barrier_overhead(1), 0u);
+  EXPECT_LT(Machine::barrier_overhead(2), Machine::barrier_overhead(4));
+  EXPECT_LT(Machine::barrier_overhead(4), Machine::barrier_overhead(8));
+}
+
+TEST(Machine, MismatchedBarrierCountsAreDetected) {
+  Machine m{test_cfg(2)};
+  ScriptSource with_barrier{{Op::compute(10), Op::barrier(), Op::compute(10)}};
+  ScriptSource without{{Op::compute(10)}};
+  m.add_app(AppBinding{0, {0, 1}, {&with_barrier, &without}, nullptr, false});
+  EXPECT_THROW(m.run(), std::runtime_error);
+}
+
+TEST(Machine, BackgroundAppRestartsUntilForegroundDone) {
+  Machine m{test_cfg(2)};
+  ScriptSource fg{{Op::compute(100'000)}};
+  auto bg = std::make_unique<ScriptSource>(
+      std::vector<Op>{Op::compute(1000)});
+  ScriptSource* bg_raw = bg.get();
+  AppBinding fgb{0, {0}, {&fg}, nullptr, false};
+  AppBinding bgb{1, {1}, {bg_raw}, [bg_raw] { bg_raw->rewind(); }, true};
+  m.add_app(std::move(fgb));
+  m.add_app(std::move(bgb));
+  const RunOutcome out = m.run();
+  EXPECT_GT(out.bg_runs[1], 50u) << "bg must loop many times";
+  EXPECT_EQ(out.bg_runs[0], 0u);
+}
+
+TEST(Machine, TwoAppsContendOnSharedChannel) {
+  // One memory-hungry app solo vs. with a bandwidth hog next to it, on
+  // a machine whose channel two such cores can saturate.
+  MachineConfig cfg = test_cfg(2);
+  cfg.peak_bw_gbs = 4.0;
+  auto make_ops = [] {
+    std::vector<Op> ops;
+    for (int i = 0; i < 3000; ++i)
+      ops.push_back(Op::load(static_cast<Addr>(i) * kLineBytes * 97, 1,
+                             Dep::Indep));
+    return ops;
+  };
+  Cycle solo, corun;
+  {
+    Machine m{cfg};
+    ScriptSource a{make_ops()};
+    m.add_app(AppBinding{0, {0}, {&a}, nullptr, false});
+    solo = m.run().finish_cycle;
+  }
+  {
+    Machine m{cfg};
+    ScriptSource a{make_ops()};
+    auto bg_ops = make_ops();
+    // Shift bg addresses into app 1's space.
+    for (Op& op : bg_ops) op.addr |= app_base(1);
+    ScriptSource b{bg_ops};
+    ScriptSource* b_raw = &b;
+    m.add_app(AppBinding{0, {0}, {&a}, nullptr, false});
+    m.add_app(AppBinding{1, {1}, {b_raw}, [b_raw] { b_raw->rewind(); }, true});
+    corun = m.run().finish_cycle;
+  }
+  EXPECT_GT(corun, solo + solo / 10)
+      << "bandwidth contention must slow the foreground";
+}
+
+TEST(Machine, CycleLimitAborts) {
+  Machine m{test_cfg(1)};
+  // 10M compute at CPI 1 would take 10M cycles; cap at 100k.
+  ScriptSource src{{Op::compute(10'000'000)}};
+  m.add_app(AppBinding{0, {0}, {&src}, nullptr, false});
+  m.set_cycle_limit(100'000);
+  const RunOutcome out = m.run();
+  EXPECT_TRUE(out.hit_cycle_limit);
+}
+
+TEST(Machine, RejectsOverlappingCoreBindings) {
+  Machine m{test_cfg(2)};
+  ScriptSource a{{Op::compute(1)}};
+  ScriptSource b{{Op::compute(1)}};
+  m.add_app(AppBinding{0, {0, 1}, {&a, &b}, nullptr, false});
+  ScriptSource c{{Op::compute(1)}};
+  EXPECT_THROW(m.add_app(AppBinding{1, {1}, {&c}, nullptr, false}),
+               std::invalid_argument);
+}
+
+TEST(Machine, RejectsBackgroundWithoutRestart) {
+  Machine m{test_cfg(1)};
+  ScriptSource a{{Op::compute(1)}};
+  EXPECT_THROW(m.add_app(AppBinding{0, {0}, {&a}, nullptr, true}),
+               std::invalid_argument);
+}
+
+TEST(Machine, RegionStatsSplitCounters) {
+  std::vector<Op> ops;
+  ops.push_back(Op::region(1));
+  ops.push_back(Op::compute(500));
+  ops.push_back(Op::region(2));
+  for (int i = 0; i < 10; ++i)
+    ops.push_back(Op::load(static_cast<Addr>(i) * 1'000'000, 1, Dep::Chain));
+  Machine m{test_cfg(1)};
+  ScriptSource src{ops};
+  m.add_app(AppBinding{0, {0}, {&src}, nullptr, false});
+  m.run();
+  const auto regions = m.app_region_stats(0);
+  std::uint64_t r1_instr = 0, r2_l3 = 0;
+  for (const auto& [id, st] : regions) {
+    if (id == 1) r1_instr = st.instructions;
+    if (id == 2) r2_l3 = st.l3_misses;
+  }
+  EXPECT_EQ(r1_instr, 500u);
+  EXPECT_EQ(r2_l3, 10u);
+}
+
+TEST(Machine, BandwidthTimelineMonotone) {
+  std::vector<Op> ops;
+  for (int i = 0; i < 2000; ++i)
+    ops.push_back(Op::load(static_cast<Addr>(i) * kLineBytes * 131, 1,
+                           Dep::Indep));
+  Machine m{test_cfg(1)};
+  m.set_sample_window(5000);
+  ScriptSource src{ops};
+  m.add_app(AppBinding{0, {0}, {&src}, nullptr, false});
+  m.run();
+  const auto& tl = m.bandwidth_timeline();
+  ASSERT_GE(tl.size(), 2u);
+  for (std::size_t i = 1; i < tl.size(); ++i) {
+    EXPECT_GE(tl[i].total_bytes, tl[i - 1].total_bytes);
+    EXPECT_GT(tl[i].cycle, tl[i - 1].cycle);
+  }
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    std::vector<Op> ops;
+    for (int i = 0; i < 500; ++i) {
+      ops.push_back(Op::load(static_cast<Addr>(i * 7919) * kLineBytes, 1,
+                             Dep::Indep));
+      ops.push_back(Op::compute(3));
+    }
+    Machine m{test_cfg(1)};
+    ScriptSource src{ops};
+    m.add_app(AppBinding{0, {0}, {&src}, nullptr, false});
+    return m.run().finish_cycle;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace coperf::sim

@@ -1,0 +1,302 @@
+// Unit tests for the workload framework: coroutine pump, op buffering,
+// barrier holdback, address spaces, registry, epoch helpers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "wl/context.hpp"
+#include "wl/graph/engine.hpp"
+#include "wl/registry.hpp"
+#include "wl/sim_array.hpp"
+#include "wl/workload.hpp"
+
+namespace coperf::wl {
+namespace {
+
+using sim::Op;
+using sim::OpKind;
+
+std::vector<Op> drain_all(CoroSource& src, std::size_t cap = 1'000'000) {
+  std::vector<Op> out;
+  Op buf[64];
+  while (out.size() < cap) {
+    const std::size_t n = src.refill(buf, 64);
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  return out;
+}
+
+TEST(CoroSource, EmitsOpsInProgramOrder) {
+  CoroSource src{[](ThreadCtx& ctx) -> TraceGen {
+                   co_await ctx.compute(5);
+                   co_await ctx.load(0x100, 7);
+                   co_await ctx.store(0x200, 8);
+                 },
+                 sim::ThreadAttr{}};
+  src.rearm();
+  const auto ops = drain_all(src);
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].kind, OpKind::Compute);
+  EXPECT_EQ(ops[0].count, 5u);
+  EXPECT_EQ(ops[1].kind, OpKind::Load);
+  EXPECT_EQ(ops[1].addr, 0x100u);
+  EXPECT_EQ(ops[1].pc, 7u);
+  EXPECT_EQ(ops[2].kind, OpKind::Store);
+}
+
+TEST(CoroSource, LargeComputeSplitsIntoChunks) {
+  CoroSource src{[](ThreadCtx& ctx) -> TraceGen {
+                   co_await ctx.compute(10'000);
+                 },
+                 sim::ThreadAttr{}};
+  src.rearm();
+  const auto ops = drain_all(src);
+  std::uint64_t total = 0;
+  for (const Op& op : ops) {
+    EXPECT_EQ(op.kind, OpKind::Compute);
+    EXPECT_LE(op.count, ThreadCtx::kComputeChunk);
+    total += op.count;
+  }
+  EXPECT_EQ(total, 10'000u);
+}
+
+TEST(CoroSource, ManyOpsSurviveBufferWraparound) {
+  constexpr std::size_t kN = 3 * ThreadCtx::kCap + 17;
+  CoroSource src{[](ThreadCtx& ctx) -> TraceGen {
+                   for (std::size_t i = 0; i < kN; ++i)
+                     co_await ctx.load(i * 64, 1);
+                 },
+                 sim::ThreadAttr{}};
+  src.rearm();
+  const auto ops = drain_all(src);
+  ASSERT_EQ(ops.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(ops[i].addr, i * 64);
+}
+
+TEST(CoroSource, ExhaustedSourceReturnsZero) {
+  CoroSource src{[](ThreadCtx& ctx) -> TraceGen { co_await ctx.compute(1); },
+                 sim::ThreadAttr{}};
+  src.rearm();
+  (void)drain_all(src);
+  Op buf[4];
+  EXPECT_EQ(src.refill(buf, 4), 0u);
+  EXPECT_EQ(src.refill(buf, 4), 0u);
+}
+
+TEST(CoroSource, RearmRestartsFromScratch) {
+  int run_count = 0;
+  CoroSource src{[&run_count](ThreadCtx& ctx) -> TraceGen {
+                   ++run_count;
+                   co_await ctx.compute(1);
+                 },
+                 sim::ThreadAttr{}};
+  src.rearm();
+  (void)drain_all(src);
+  src.rearm();
+  const auto ops = drain_all(src);
+  EXPECT_EQ(ops.size(), 1u);
+  EXPECT_EQ(run_count, 2);
+}
+
+TEST(CoroSource, BarrierHoldsGeneratorUntilPassed) {
+  int phase = 0;
+  CoroSource src{[&phase](ThreadCtx& ctx) -> TraceGen {
+                   phase = 1;
+                   co_await ctx.compute(1);
+                   co_await ctx.barrier();
+                   phase = 2;  // must not run until barrier_passed()
+                   co_await ctx.compute(1);
+                 },
+                 sim::ThreadAttr{}};
+  src.rearm();
+  Op buf[64];
+  std::size_t n = src.refill(buf, 64);
+  ASSERT_EQ(n, 2u);
+  EXPECT_EQ(buf[1].kind, OpKind::Barrier);
+  EXPECT_EQ(phase, 1) << "post-barrier code ran before the barrier released";
+  EXPECT_EQ(src.refill(buf, 64), 0u)
+      << "pump must not resume a barrier-parked body";
+  EXPECT_EQ(phase, 1);
+  src.barrier_passed();
+  n = src.refill(buf, 64);
+  ASSERT_EQ(n, 1u);
+  EXPECT_EQ(phase, 2);
+}
+
+TEST(CoroSource, ExceptionInBodyPropagates) {
+  CoroSource src{[](ThreadCtx& ctx) -> TraceGen {
+                   co_await ctx.compute(1);
+                   throw std::runtime_error{"workload bug"};
+                 },
+                 sim::ThreadAttr{}};
+  // The body throws during its first resume (the single emit does not
+  // fill the buffer, so the coroutine runs straight into the throw):
+  // the pump must surface the exception on that refill.
+  src.rearm();
+  Op buf[64];
+  EXPECT_THROW((void)src.refill(buf, 64), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// AddrSpace / SimArray
+// ---------------------------------------------------------------------
+
+TEST(AddrSpace, AllocationsAreDisjointAndAligned) {
+  AddrSpace space{2};
+  const sim::Addr a = space.alloc(1000);
+  const sim::Addr b = space.alloc(1000);
+  EXPECT_GE(b, a + 1000);
+  EXPECT_EQ(a % 4096, 0u);
+  EXPECT_EQ(sim::app_of(a), 2);
+  EXPECT_EQ(sim::app_of(b), 2);
+}
+
+TEST(AddrSpace, TracksFootprint) {
+  AddrSpace space{0};
+  (void)space.alloc(4096);
+  (void)space.alloc(4096);
+  EXPECT_GE(space.bytes_allocated(), 2u * 4096);
+}
+
+TEST(SimArray, HostAndSimulatedViewsAgree) {
+  AddrSpace space{1};
+  SimArray<std::uint32_t> arr{space, 100, 7u};
+  EXPECT_EQ(arr[50], 7u);
+  arr[50] = 9;
+  EXPECT_EQ(arr[50], 9u);
+  EXPECT_EQ(arr.addr_of(1) - arr.addr_of(0), sizeof(std::uint32_t));
+  EXPECT_EQ(sim::app_of(arr.addr_of(99)), 1);
+}
+
+TEST(GhostArray, AddressOnlyFootprint) {
+  AddrSpace space{1};
+  GhostArray<double> g{space, 1024};
+  EXPECT_EQ(g.bytes(), 1024 * sizeof(double));
+  EXPECT_EQ(g.addr_of(1023) - g.addr_of(0), 1023 * sizeof(double));
+}
+
+TEST(SimView, MapsSharedHostData) {
+  AddrSpace space{3};
+  std::vector<float> host{1.f, 2.f, 3.f};
+  SimView<float> v{space, std::span{host}};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 2.f);
+  EXPECT_EQ(sim::app_of(v.addr_of(0)), 3);
+}
+
+// ---------------------------------------------------------------------
+// Epoch helpers
+// ---------------------------------------------------------------------
+
+TEST(EpochCursor, DistributesWholeRangeOnce) {
+  graph::EpochCursor cur{64};
+  cur.set_total(1000);
+  std::vector<bool> seen(1000, false);
+  while (auto c = cur.next(0)) {
+    for (std::uint32_t i = c->first; i < c->second; ++i) {
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(EpochCursor, NewEpochResets) {
+  graph::EpochCursor cur{512};
+  cur.set_total(100);
+  EXPECT_TRUE(cur.next(0).has_value());
+  EXPECT_FALSE(cur.next(0).has_value());
+  EXPECT_TRUE(cur.next(1).has_value()) << "next epoch must rewind";
+}
+
+TEST(ConvergenceFlag, ParitySlotsKeepPreviousEpochReadable) {
+  graph::ConvergenceFlag f;
+  f.add(0, 5);
+  EXPECT_EQ(f.read(0), 5u);
+  f.add(1, 2);           // epoch 1 accumulates in the other slot
+  EXPECT_EQ(f.read(0), 5u);
+  EXPECT_EQ(f.read(1), 2u);
+  f.add(2, 1);           // overwrites epoch 0's slot
+  EXPECT_EQ(f.read(2), 1u);
+  EXPECT_EQ(f.read(0), 0u) << "stale epoch reads as zero";
+}
+
+TEST(FrontierSet, PushAndReadByEpoch) {
+  graph::FrontierSet fs;
+  fs.reset({1, 2, 3});
+  EXPECT_EQ(fs.frontier(0).size(), 3u);
+  fs.push(1, 9);
+  fs.push(1, 10);
+  EXPECT_EQ(fs.frontier(1).size(), 2u);
+  EXPECT_EQ(fs.size(5), 0u);
+}
+
+TEST(FrontierSet, ReferencesStableAcrossGrowth) {
+  graph::FrontierSet fs;
+  fs.reset({1, 2, 3});
+  const auto& f0 = fs.frontier(0);
+  for (std::uint32_t e = 1; e < 100; ++e) fs.push(e, e);
+  EXPECT_EQ(f0.size(), 3u);
+  EXPECT_EQ(f0[2], 3u);
+}
+
+TEST(StaticRange, CoversWithoutOverlap) {
+  const std::uint32_t n = 1003;
+  std::uint32_t covered = 0;
+  std::uint32_t prev_end = 0;
+  for (unsigned t = 0; t < 7; ++t) {
+    const auto [b, e] = graph::static_range(n, t, 7);
+    EXPECT_EQ(b, prev_end);
+    covered += e - b;
+    prev_end = e;
+  }
+  EXPECT_EQ(covered, n);
+  EXPECT_EQ(prev_end, n);
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+TEST(Registry, Has25ApplicationsPlus2Minis) {
+  auto& reg = Registry::instance();
+  EXPECT_EQ(reg.applications().size(), 25u);
+  EXPECT_EQ(reg.all().size(), 27u);
+}
+
+TEST(Registry, PaperSuiteSizesMatchTableI) {
+  auto& reg = Registry::instance();
+  EXPECT_EQ(reg.suite("GeminiGraph").size(), 5u);
+  EXPECT_EQ(reg.suite("PowerGraph").size(), 3u);
+  EXPECT_EQ(reg.suite("CNTK").size(), 4u);
+  EXPECT_EQ(reg.suite("PARSEC").size(), 4u);
+  EXPECT_EQ(reg.suite("HPC").size(), 3u);
+  EXPECT_EQ(reg.suite("SPEC CPU2017").size(), 6u);
+  EXPECT_EQ(reg.suite("mini").size(), 2u);
+}
+
+TEST(Registry, SpecIsRateModeOthersAreNot) {
+  auto& reg = Registry::instance();
+  for (const auto* w : reg.suite("SPEC CPU2017")) EXPECT_TRUE(w->rate_mode);
+  for (const auto* w : reg.suite("GeminiGraph")) EXPECT_FALSE(w->rate_mode);
+}
+
+TEST(Registry, UnknownNameThrowsWithMessage) {
+  EXPECT_THROW((void)Registry::instance().at("NotAWorkload"),
+               std::out_of_range);
+}
+
+TEST(Registry, CreateProducesWorkingModel) {
+  auto model = Registry::instance().create(
+      "Stream", AppParams{0, 2, SizeClass::Tiny, 1});
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->name(), "Stream");
+  EXPECT_EQ(model->threads(), 2u);
+  const auto sources = model->sources();
+  EXPECT_EQ(sources.size(), 2u);
+  EXPECT_GT(model->footprint_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace coperf::wl

@@ -1,0 +1,178 @@
+// Graph substrate + graph workload correctness: the models execute the
+// real algorithms, so their results must match host oracles (Dijkstra,
+// union-find, BFS, reference PageRank) after a simulated run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/machine.hpp"
+#include "wl/graph/csr.hpp"
+#include "wl/registry.hpp"
+
+namespace coperf::wl {
+namespace {
+
+using graph::Graph;
+using graph::GraphSpec;
+
+GraphSpec tiny_spec() { return GraphSpec{10, 8, 7, true}; }
+
+TEST(Rmat, GeometryMatchesSpec) {
+  const auto g = graph::make_rmat(tiny_spec());
+  EXPECT_EQ(g->n, 1u << 10);
+  EXPECT_EQ(g->out_offsets.size(), g->n + 1);
+  EXPECT_EQ(g->in_offsets.size(), g->n + 1);
+  EXPECT_EQ(g->out_targets.size(), g->m);
+  EXPECT_EQ(g->in_sources.size(), g->m);
+  EXPECT_EQ(g->weights.size(), g->m);
+  // symmetric spec: m ~ n * avg_degree
+  EXPECT_NEAR(static_cast<double>(g->m), 1024.0 * 8, 1024.0);
+}
+
+TEST(Rmat, OffsetsAreMonotoneAndComplete) {
+  const auto g = graph::make_rmat(tiny_spec());
+  for (std::uint32_t v = 0; v < g->n; ++v) {
+    EXPECT_LE(g->out_offsets[v], g->out_offsets[v + 1]);
+    EXPECT_LE(g->in_offsets[v], g->in_offsets[v + 1]);
+  }
+  EXPECT_EQ(g->out_offsets[g->n], g->m);
+  EXPECT_EQ(g->in_offsets[g->n], g->m);
+}
+
+TEST(Rmat, InAndOutEdgesAreConsistent) {
+  const auto g = graph::make_rmat(tiny_spec());
+  // Total in-degree == total out-degree, and each directed edge (u,v)
+  // in the CSR appears in the CSC.
+  std::multiset<std::pair<std::uint32_t, std::uint32_t>> out_edges, in_edges;
+  for (std::uint32_t u = 0; u < g->n; ++u)
+    for (std::uint64_t k = g->out_offsets[u]; k < g->out_offsets[u + 1]; ++k)
+      out_edges.emplace(u, g->out_targets[k]);
+  for (std::uint32_t v = 0; v < g->n; ++v)
+    for (std::uint64_t k = g->in_offsets[v]; k < g->in_offsets[v + 1]; ++k)
+      in_edges.emplace(g->in_sources[k], v);
+  EXPECT_EQ(out_edges, in_edges);
+}
+
+TEST(Rmat, SymmetricGraphHasBothDirections) {
+  const auto g = graph::make_rmat(tiny_spec());
+  // For each edge (u,v) there must be a (v,u).
+  std::multiset<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t u = 0; u < g->n; ++u)
+    for (std::uint64_t k = g->out_offsets[u]; k < g->out_offsets[u + 1]; ++k)
+      edges.emplace(u, g->out_targets[k]);
+  for (const auto& [u, v] : edges)
+    EXPECT_TRUE(edges.count({v, u}) > 0) << u << "->" << v;
+}
+
+TEST(Rmat, DegreeDistributionIsSkewed) {
+  const auto g = graph::make_rmat(GraphSpec{12, 16, 3, true});
+  std::uint32_t max_deg = 0;
+  for (std::uint32_t v = 0; v < g->n; ++v)
+    max_deg = std::max(max_deg, g->out_degree(v));
+  const double avg = static_cast<double>(g->m) / g->n;
+  EXPECT_GT(max_deg, 20 * avg) << "R-MAT must produce heavy-tail hubs";
+}
+
+TEST(Rmat, DeterministicForSameSpec) {
+  const auto a = graph::make_rmat(tiny_spec());
+  const auto b = graph::make_rmat(tiny_spec());
+  EXPECT_EQ(a->out_targets, b->out_targets);
+  EXPECT_EQ(a->weights, b->weights);
+}
+
+TEST(Rmat, CacheReturnsSameInstance) {
+  const auto a = graph::rmat_cached(tiny_spec());
+  const auto b = graph::rmat_cached(tiny_spec());
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(Rmat, NoSelfLoops) {
+  const auto g = graph::make_rmat(tiny_spec());
+  for (std::uint32_t u = 0; u < g->n; ++u)
+    for (std::uint64_t k = g->out_offsets[u]; k < g->out_offsets[u + 1]; ++k)
+      EXPECT_NE(g->out_targets[k], u);
+}
+
+TEST(HostOracles, BfsAndDijkstraAgreeOnReachability) {
+  const auto g = graph::make_rmat(tiny_spec());
+  const auto root = g->max_degree_vertex();
+  const auto lvl = graph::host_bfs_levels(*g, root);
+  const auto dist = graph::host_dijkstra(*g, root);
+  for (std::uint32_t v = 0; v < g->n; ++v)
+    EXPECT_EQ(lvl[v] >= 0, !std::isinf(dist[v]));
+}
+
+TEST(HostOracles, ComponentsAreEquivalenceClasses) {
+  const auto g = graph::make_rmat(tiny_spec());
+  const auto comp = graph::host_components(*g);
+  for (std::uint32_t u = 0; u < g->n; ++u)
+    for (std::uint64_t k = g->out_offsets[u]; k < g->out_offsets[u + 1]; ++k)
+      EXPECT_EQ(comp[u], comp[g->out_targets[k]]);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: run each graph model on a tiny machine, then check its
+// algorithmic output against the host oracle via AppModel::verify().
+// ---------------------------------------------------------------------
+
+class GraphModelRun : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GraphModelRun, SimulatedRunMatchesHostOracle) {
+  const char* name = GetParam();
+  auto model = Registry::instance().create(
+      name, AppParams{0, 4, SizeClass::Tiny, 1});
+  sim::MachineConfig cfg = sim::MachineConfig::scaled();
+  sim::Machine m{cfg};
+  sim::AppBinding b;
+  b.id = 0;
+  b.cores = {0, 1, 2, 3};
+  b.sources = model->sources();
+  m.add_app(std::move(b));
+  const auto out = m.run();
+  EXPECT_FALSE(out.hit_cycle_limit);
+  EXPECT_GT(out.finish_cycle, 0u);
+  EXPECT_EQ(model->verify(), "") << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphApps, GraphModelRun,
+                         ::testing::Values("G-PR", "G-BFS", "G-BC", "G-SSSP",
+                                           "G-CC", "P-PR", "P-CC", "P-SSSP"));
+
+TEST(GraphModelRestart, BackgroundRestartRecomputesCorrectly) {
+  // Run G-CC twice via restart (as the co-run harness does for
+  // background apps) and verify the second run is also correct.
+  auto model = Registry::instance().create(
+      "G-CC", AppParams{0, 2, SizeClass::Tiny, 1});
+  for (int round = 0; round < 2; ++round) {
+    sim::Machine m{sim::MachineConfig::scaled()};
+    sim::AppBinding b;
+    b.id = 0;
+    b.cores = {0, 1};
+    b.sources = model->sources();
+    m.add_app(std::move(b));
+    m.run();
+    EXPECT_EQ(model->verify(), "") << "round " << round;
+    model->restart();
+  }
+}
+
+TEST(GraphModelThreads, ResultIndependentOfThreadCount) {
+  // The algorithms are deterministic per thread count; across thread
+  // counts the *verified result* must stay correct.
+  for (unsigned t : {1u, 2u, 4u}) {
+    auto model = Registry::instance().create(
+        "P-SSSP", AppParams{0, t, SizeClass::Tiny, 1});
+    sim::Machine m{sim::MachineConfig::scaled()};
+    sim::AppBinding b;
+    b.id = 0;
+    for (unsigned i = 0; i < t; ++i) b.cores.push_back(i);
+    b.sources = model->sources();
+    m.add_app(std::move(b));
+    m.run();
+    EXPECT_EQ(model->verify(), "") << t << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace coperf::wl
