@@ -6,11 +6,15 @@
 //   --reps=N      repetitions (median), default 3 like the paper
 //   --threads=N   foreground thread count (default 4, like the paper)
 //   --csv         append machine-readable CSV after the table
+//   --subset=A,B  restrict matrix-style benches to named workloads
+//   --size=S      explicit input size (tiny|small|native), overrides
+//                 the --quick/--native default
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,11 +28,16 @@ struct BenchArgs {
   bool csv = false;
   unsigned reps = 3;
   unsigned threads = 4;
+  /// Workload names from --subset=A,B,... (empty = bench default).
+  std::vector<std::string> subset;
+  /// Explicit --size=tiny|small|native override (unset = derived).
+  std::optional<wl::SizeClass> size_override;
 
   sim::MachineConfig machine() const {
     return native ? sim::MachineConfig::paper() : sim::MachineConfig::scaled();
   }
   wl::SizeClass size() const {
+    if (size_override) return *size_override;
     if (quick) return wl::SizeClass::Tiny;
     return native ? wl::SizeClass::Native : wl::SizeClass::Small;
   }
@@ -45,7 +54,34 @@ struct BenchArgs {
   Session session() const { return Session{machine(), size()}; }
 };
 
-inline BenchArgs parse_args(int argc, char** argv) {
+/// Splits a --subset=A,B,C value into workload names.
+inline std::vector<std::string> split_subset(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+inline wl::SizeClass parse_size(const std::string& s) {
+  if (s == "tiny") return wl::SizeClass::Tiny;
+  if (s == "small") return wl::SizeClass::Small;
+  if (s == "native") return wl::SizeClass::Native;
+  std::cerr << "bad --size=" << s << " (expected tiny|small|native)\n";
+  std::exit(2);
+}
+
+/// `subset_supported`: benches that cannot restrict their workload list
+/// must leave this false so --subset is rejected instead of silently
+/// ignored.
+inline BenchArgs parse_args(int argc, char** argv,
+                            bool subset_supported = false) {
   BenchArgs a;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -59,8 +95,24 @@ inline BenchArgs parse_args(int argc, char** argv) {
       a.reps = static_cast<unsigned>(std::stoul(arg.substr(7)));
     } else if (arg.rfind("--threads=", 0) == 0) {
       a.threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
+    } else if (arg.rfind("--subset=", 0) == 0) {
+      if (!subset_supported) {
+        std::cerr << "this bench does not support --subset\n";
+        std::exit(2);
+      }
+      a.subset = split_subset(arg.substr(9));
+      if (a.subset.empty()) {
+        // An empty value (e.g. an unset shell variable) must not
+        // silently degrade to the full sweep.
+        std::cerr << "--subset= needs at least one workload name\n";
+        std::exit(2);
+      }
+    } else if (arg.rfind("--size=", 0) == 0) {
+      a.size_override = parse_size(arg.substr(7));
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "flags: --quick --native --csv --reps=N --threads=N\n";
+      std::cout << "flags: --quick --native --csv --reps=N --threads=N"
+                   " --size=tiny|small|native"
+                << (subset_supported ? " --subset=A,B,..." : "") << "\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << arg << " (see --help)\n";
@@ -70,14 +122,22 @@ inline BenchArgs parse_args(int argc, char** argv) {
   return a;
 }
 
+inline const char* size_name(wl::SizeClass s) {
+  switch (s) {
+    case wl::SizeClass::Tiny: return "Tiny";
+    case wl::SizeClass::Small: return "Small";
+    case wl::SizeClass::Native: return "Native";
+  }
+  return "?";
+}
+
 inline void print_config(const BenchArgs& a, const std::string& what) {
   std::cout << "== coperf bench: " << what << " ==\n"
-            << "   config: "
-            << (a.quick ? "quick (Tiny inputs, 1 rep)"
-                        : (a.native ? "native (paper machine)"
-                                    : "default (scaled machine, Small inputs)"))
-            << ", " << a.effective_reps() << " rep(s), " << a.threads
-            << " threads\n\n";
+            << "   config: " << (a.native ? "paper" : "scaled") << " machine, "
+            << size_name(a.size()) << " inputs, " << a.effective_reps()
+            << " rep(s), " << a.threads << " threads";
+  if (!a.subset.empty()) std::cout << ", subset of " << a.subset.size();
+  std::cout << "\n\n";
 }
 
 }  // namespace coperf::bench

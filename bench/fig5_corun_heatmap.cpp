@@ -5,15 +5,16 @@
 #include "bench_common.hpp"
 #include "harness/report.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace coperf;
-  const auto args = bench::parse_args(argc, argv);
+  const auto args = bench::parse_args(argc, argv, /*subset_supported=*/true);
   bench::print_config(args,
                       "Fig. 5 -- 25x25 co-run normalized-runtime heat map");
 
   harness::MatrixOptions mo;
   mo.run = args.run_options();
   mo.reps = args.effective_reps();
+  mo.subset = args.subset;
   const harness::CorunMatrix m = harness::corun_matrix(mo);
 
   harness::print_heatmap(std::cout, m);
@@ -52,4 +53,7 @@ int main(int argc, char** argv) {
 
   if (args.csv) std::cout << "\n" << harness::matrix_to_csv(m);
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

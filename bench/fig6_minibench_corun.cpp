@@ -6,15 +6,21 @@
 #include "harness/report.hpp"
 #include "wl/registry.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace coperf;
-  const auto args = bench::parse_args(argc, argv);
+  const auto args = bench::parse_args(argc, argv, /*subset_supported=*/true);
   bench::print_config(args, "Fig. 6 -- co-run with Bandit / Stream");
 
   harness::Table table{{"suite", "workload", "vs Bandit", "vs Stream"}};
   std::string csv = "suite,workload,speedup_vs_bandit,speedup_vs_stream\n";
   const harness::RunOptions opt = args.run_options();
-  const auto workloads = wl::Registry::instance().applications();
+  auto workloads = wl::Registry::instance().applications();
+  if (!args.subset.empty()) {
+    std::vector<const wl::WorkloadInfo*> picked;
+    for (const auto& name : args.subset)
+      picked.push_back(&wl::Registry::instance().at(name));
+    workloads = std::move(picked);
+  }
   std::vector<double> vs_bandit(workloads.size()), vs_stream(workloads.size());
   harness::parallel_for(workloads.size(), 0, [&](std::size_t i) {
     const auto* w = workloads[i];
@@ -49,14 +55,19 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   std::cout << "\naverages:\n"
-            << "  vs Bandit (all 25)      : "
+            << "  vs Bandit (" << count << " apps)    : "
             << harness::Table::fmt(sum_bandit / count)
-            << "  (paper: 0.77-1.0 range)\n"
-            << "  vs Stream (all 25)      : "
-            << harness::Table::fmt(sum_stream / count) << "  (paper: ~0.61)\n"
-            << "  vs Stream (GeminiGraph) : "
-            << harness::Table::fmt(gem_stream / gem_count)
-            << "  (paper: ~0.48, i.e. ~2.08x slowdown)\n";
+            << "  (paper: 0.77-1.0 range over all 25)\n"
+            << "  vs Stream (" << count << " apps)    : "
+            << harness::Table::fmt(sum_stream / count)
+            << "  (paper: ~0.61 over all 25)\n";
+  if (gem_count > 0)
+    std::cout << "  vs Stream (GeminiGraph) : "
+              << harness::Table::fmt(gem_stream / gem_count)
+              << "  (paper: ~0.48, i.e. ~2.08x slowdown)\n";
   if (args.csv) std::cout << "\n" << csv;
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

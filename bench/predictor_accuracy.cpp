@@ -1,0 +1,104 @@
+// Predictor accuracy: the O(N) -> O(N^2) story, end to end.
+//
+// 1. Measure the co-run matrix on a subset (the expensive ground truth).
+// 2. Collect N solo signatures (the cheap O(N) pass).
+// 3. Predict the matrix with the analytic bandwidth model and, via
+//    leave-one-workload-out, with the data-driven kNN and least-squares
+//    models.
+// 4. Report MAE / Spearman rho / pair-class confusion per model, and
+//    the scheduling regret: how much worse a schedule planned on the
+//    predicted matrix is when billed at measured cost.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/report.hpp"
+#include "predict/eval.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace coperf;
+  const auto args = bench::parse_args(argc, argv, /*subset_supported=*/true);
+  bench::print_config(args, "predictor accuracy -- solo signatures vs. "
+                            "measured co-run matrix");
+
+  // Default subset: one representative per suite plus both
+  // mini-benchmarks -- small enough to measure, diverse enough that the
+  // three pair classes all appear.
+  std::vector<std::string> subset = args.subset;
+  if (subset.empty())
+    subset = {"Stream", "Bandit", "G-PR", "CIFAR", "fotonik3d",
+              "swaptions", "IRSmk", "blackscholes"};
+
+  harness::MatrixOptions mo;
+  mo.run = args.run_options();
+  mo.reps = args.effective_reps();
+  mo.subset = subset;
+
+  // The signatures' solo runs double as the matrix's baselines, so each
+  // workload is simulated alone exactly once.
+  std::cout << "collecting " << subset.size() << " solo signatures...\n";
+  const auto sigs =
+      predict::collect_signatures(subset, mo.run, args.effective_reps());
+  for (const auto& s : sigs) mo.solo_cycles.push_back(s.solo_cycles);
+
+  std::cout << "measuring the " << subset.size() << "x" << subset.size()
+            << " ground-truth matrix (" << subset.size() * subset.size()
+            << " co-runs)...\n\n";
+  const harness::CorunMatrix measured = harness::corun_matrix(mo);
+
+  std::string csv = "model,mae,rmse,spearman,class_agreement,regret\n";
+  const auto report = [&](const std::string& name,
+                          const predict::EvalResult& e,
+                          const harness::CorunMatrix& predicted) {
+    std::cout << "-- " << name << " --\n" << e.summary();
+    std::vector<std::size_t> jobs(measured.size() & ~std::size_t{1});
+    for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i] = i;
+    const auto sched = predict::compare_scheduling(measured, predicted, jobs);
+    std::cout << "scheduling: predicted-plan cost "
+              << harness::Table::fmt(sched.from_predicted.total_cost)
+              << " vs oracle " << harness::Table::fmt(sched.from_measured.total_cost)
+              << " vs worst " << harness::Table::fmt(sched.worst.total_cost)
+              << " (regret " << harness::Table::fmt(sched.regret, 3) << "x)\n\n";
+    csv += name + "," + harness::Table::fmt(e.mae, 4) + "," +
+           harness::Table::fmt(e.rmse, 4) + "," +
+           harness::Table::fmt(e.spearman, 4) + "," +
+           harness::Table::fmt(e.confusion.agreement(), 4) + "," +
+           harness::Table::fmt(sched.regret, 4) + "\n";
+  };
+
+  // Analytic model: no training, pure counter arithmetic.
+  const predict::BandwidthContentionModel analytic;
+  const harness::CorunMatrix analytic_pred =
+      predict::predicted_matrix(sigs, analytic);
+  report("bandwidth (analytic)", predict::evaluate(measured, analytic_pred),
+         analytic_pred);
+
+  // Data-driven models under the honest leave-one-workload-out
+  // protocol: both the accuracy numbers and the scheduling regret come
+  // from the held-out assembled matrix.
+  if (measured.size() >= 3) {
+    {
+      harness::CorunMatrix loo_pred;
+      const auto loo = predict::leave_one_out(
+          measured, sigs,
+          [] { return std::make_unique<predict::KnnModel>(); }, &loo_pred);
+      report("knn (leave-one-out)", loo, loo_pred);
+    }
+    {
+      harness::CorunMatrix loo_pred;
+      const auto loo = predict::leave_one_out(
+          measured, sigs,
+          [] { return std::make_unique<predict::LeastSquaresModel>(); },
+          &loo_pred);
+      report("lstsq (leave-one-out)", loo, loo_pred);
+    }
+  }
+
+  std::cout << "cost: measured sweep = " << subset.size() * subset.size()
+            << " co-runs; predictor = " << subset.size()
+            << " solo runs + inference\n";
+  if (args.csv) std::cout << "\n" << csv;
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
+}

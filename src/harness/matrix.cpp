@@ -42,12 +42,20 @@ CorunMatrix corun_matrix(const MatrixOptions& opt) {
   const std::size_t n = m.workloads.size();
   if (n == 0) throw std::logic_error{"corun_matrix: no workloads"};
 
-  // Solo baselines first (median of reps).
-  m.solo_cycles.assign(n, 0);
-  parallel_for(n, opt.host_threads, [&](std::size_t i) {
-    m.solo_cycles[i] =
-        run_solo_median(m.workloads[i], opt.run, opt.reps).cycles;
-  });
+  // Solo baselines first (median of reps), unless the caller already
+  // measured them.
+  if (!opt.solo_cycles.empty() && opt.solo_cycles.size() != n)
+    throw std::invalid_argument{
+        "corun_matrix: solo_cycles size does not match the workload count"};
+  if (opt.solo_cycles.size() == n) {
+    m.solo_cycles = opt.solo_cycles;
+  } else {
+    m.solo_cycles.assign(n, 0);
+    parallel_for(n, opt.host_threads, [&](std::size_t i) {
+      m.solo_cycles[i] =
+          run_solo_median(m.workloads[i], opt.run, opt.reps).cycles;
+    });
+  }
 
   // Full fg x bg sweep.
   m.normalized.assign(n, std::vector<double>(n, 0.0));

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,8 @@ struct CorunMatrix {
   std::vector<std::vector<double>> normalized;
 
   double at(std::size_t fg, std::size_t bg) const {
+    if (fg >= normalized.size() || bg >= normalized[fg].size())
+      throw std::out_of_range{"CorunMatrix::at: index outside the matrix"};
     return normalized[fg][bg];
   }
   std::size_t size() const { return workloads.size(); }
@@ -40,6 +43,12 @@ struct MatrixOptions {
   unsigned host_threads = 0;   ///< 0 = hardware_concurrency
   /// Restrict to a subset of workloads (empty = all 25 applications).
   std::vector<std::string> subset;
+  /// Precomputed solo baselines, one per workload in the exact axis
+  /// order of `subset` (e.g. from an earlier signature-collection pass
+  /// over the same list). When non-empty the solo pass is skipped; a
+  /// size mismatch throws. The caller is responsible for the order --
+  /// build this and `subset` from the same vector.
+  std::vector<sim::Cycle> solo_cycles;
 };
 
 /// Runs the (subset of the) 25x25 sweep. With the default subset this

@@ -29,12 +29,27 @@ void finalize(const CorunMatrix& m, Schedule& s) {
 void check_jobs(const std::vector<std::size_t>& jobs, const CorunMatrix& m) {
   if (jobs.size() % 2 != 0)
     throw std::invalid_argument{"scheduler: job count must be even"};
-  for (std::size_t j : jobs)
+  std::vector<bool> seen(m.size(), false);
+  for (std::size_t j : jobs) {
     if (j >= m.size())
       throw std::out_of_range{"scheduler: job index outside the matrix"};
+    if (seen[j])
+      throw std::invalid_argument{
+          "scheduler: duplicate job index " + std::to_string(j) +
+          " (each job can be placed once)"};
+    seen[j] = true;
+  }
 }
 
 }  // namespace
+
+Schedule bill_pairs(const CorunMatrix& m, std::vector<Pairing> pairs) {
+  Schedule s;
+  s.pairs = std::move(pairs);
+  for (Pairing& p : s.pairs) p.cost = pair_cost(m, p.a, p.b);
+  finalize(m, s);
+  return s;
+}
 
 Schedule schedule_greedy(const CorunMatrix& m,
                          const std::vector<std::size_t>& jobs) {

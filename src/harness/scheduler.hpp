@@ -34,6 +34,11 @@ struct Schedule {
 /// vice versa (2.0 == perfectly harmonious).
 double pair_cost(const CorunMatrix& m, std::size_t a, std::size_t b);
 
+/// Re-prices an existing pairing at this matrix's rates and rebuilds
+/// the schedule aggregates -- used to bill a plan made on one matrix
+/// (e.g. a predicted one) at another matrix's (measured) cost.
+Schedule bill_pairs(const CorunMatrix& m, std::vector<Pairing> pairs);
+
 /// Greedy min-cost matching: repeatedly pair the two remaining jobs
 /// with the smallest mutual slowdown. O(n^2 log n), near-optimal for
 /// the matrices this produces. `jobs` indexes into m.workloads; must

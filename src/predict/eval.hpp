@@ -1,0 +1,73 @@
+// Predictor evaluation (prediction subsystem).
+//
+// Scores a predicted matrix against a measured one: cell-level error
+// (MAE/RMSE), Spearman rank correlation (does the predictor order pairs
+// correctly, which is all a scheduler needs), and the paper's
+// Harmony / Victim-Offender / Both-Victim pair-class confusion.
+// leave_one_out() is the honest protocol for the data-driven models:
+// each workload's row and column are predicted by a model trained
+// without any pair involving that workload.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "harness/scheduler.hpp"
+#include "predict/model.hpp"
+#include "predict/predicted_matrix.hpp"
+
+namespace coperf::predict {
+
+/// 3x3 pair-class confusion: rows = measured class, cols = predicted.
+struct Confusion {
+  std::size_t counts[3][3] = {};
+
+  std::size_t total() const;
+  std::size_t agree() const;  ///< diagonal sum
+  double agreement() const;   ///< agree / total (1.0 when total == 0)
+};
+
+struct EvalResult {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double spearman = 0.0;  ///< rank correlation over evaluated cells
+  std::size_t cells = 0;
+  Confusion confusion;
+
+  /// Human-readable multi-line summary (confusion table included).
+  std::string summary() const;
+};
+
+/// Cell-by-cell comparison over the full matrices (axes must match).
+EvalResult evaluate(const harness::CorunMatrix& measured,
+                    const harness::CorunMatrix& predicted);
+
+/// Leave-one-workload-out evaluation of a trainable model: for each
+/// held-out workload w, trains on every pair not involving w, then
+/// predicts w's row and column. The assembled matrix is scored against
+/// `measured` -- no cell is ever predicted by a model that saw it.
+/// When `predicted_out` is non-null it receives the assembled held-out
+/// matrix (e.g. to schedule on an honest prediction).
+EvalResult leave_one_out(
+    const harness::CorunMatrix& measured,
+    const std::vector<WorkloadSignature>& sigs,
+    const std::function<std::unique_ptr<TrainableModel>()>& make_model,
+    harness::CorunMatrix* predicted_out = nullptr);
+
+/// The scheduling consequence of prediction error: pairs jobs greedily
+/// on the *predicted* matrix, then bills that schedule at *measured*
+/// cost and compares against scheduling directly on the measurements.
+struct SchedulingComparison {
+  harness::Schedule from_predicted;  ///< predicted-greedy, measured cost
+  harness::Schedule from_measured;   ///< measured-greedy (oracle)
+  harness::Schedule worst;           ///< adversarial baseline
+  /// measured cost of predicted schedule / oracle cost (1.0 = perfect).
+  double regret = 1.0;
+};
+
+SchedulingComparison compare_scheduling(const harness::CorunMatrix& measured,
+                                        const harness::CorunMatrix& predicted,
+                                        const std::vector<std::size_t>& jobs);
+
+}  // namespace coperf::predict

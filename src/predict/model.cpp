@@ -1,0 +1,293 @@
+#include "predict/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace coperf::predict {
+
+namespace {
+
+void expect_tag(std::istream& is, const std::string& want) {
+  std::string tag;
+  std::getline(is, tag);
+  if (tag != want)
+    throw std::runtime_error{"model load: expected '" + want + "', got '" +
+                             tag + "'"};
+}
+
+}  // namespace
+
+std::vector<double> pair_features(const WorkloadSignature& fg,
+                                  const WorkloadSignature& bg) {
+  const double sens = fg.sensitivity();
+  const double inten = bg.intensity();
+  const double combined_bw = fg.bw_fraction + bg.bw_fraction;
+  const double excess = std::max(0.0, combined_bw - 1.0);
+  const double mb = fg.channel_bound_frac();
+  return {sens,
+          inten,
+          sens * inten,
+          combined_bw,
+          excess,
+          mb * excess,
+          mb * std::max(0.0, bg.bw_fraction - fg.bw_fraction),
+          fg.l2_pcp * fg.dram_share() * bg.bw_fraction * bg.bw_fraction,
+          fg.llc_reuse_exposure() * bg.llc_sweep_pressure(),
+          std::min(1.0, fg.ll / 300.0),
+          std::min(1.0, bg.llc_mpki / 20.0)};
+}
+
+std::size_t pair_feature_count() {
+  static const std::size_t n =
+      pair_features(WorkloadSignature{}, WorkloadSignature{}).size();
+  return n;
+}
+
+// ---------------------------------------------------------------------
+// BandwidthContentionModel
+// ---------------------------------------------------------------------
+
+double BandwidthContentionModel::predict(const WorkloadSignature& fg,
+                                         const WorkloadSignature& bg) const {
+  const double bf = fg.bw_fraction;
+  const double bb = bg.bw_fraction;
+  const double u = bf + bb;  // combined demand / practical peak
+
+  double chan = 0.0;
+  if (params_.saturation > 0 && u > params_.saturation) {
+    // Channel saturation (paper Fig. 3 / Table III): combined demand
+    // above the practical peak stretches the channel-bound fraction of
+    // fg's time by demand/peak. The stretch is not fair-share: the app
+    // with the smaller demand (fewer outstanding requests) loses the
+    // arbitration and pays extra.
+    const double stretch = (u / params_.saturation) *
+                           (1.0 + params_.asymmetry_coeff *
+                                      std::max(0.0, bb - bf));
+    chan = fg.channel_bound_frac() * (stretch - 1.0);
+  }
+  // Channel queueing: bg's requests lengthen fg's demand DRAM waits,
+  // superlinearly in bg's traffic. Past the knee the growth is already
+  // accounted for by the saturation stretch, so the term freezes at its
+  // knee value -- keeping the prediction continuous and monotone in the
+  // background's demand instead of collapsing the instant u crosses
+  // saturation.
+  const double bb_queue =
+      std::min(bb, std::max(0.0, params_.saturation - bf));
+  const double queue =
+      params_.queue_coeff * fg.l2_pcp * fg.dram_share() * bb_queue * bb_queue;
+  // LLC capacity theft: an offender sweeping the shared cache turns the
+  // victim's LLC hits into DRAM round trips.
+  const double cap = params_.capacity_coeff * fg.llc_reuse_exposure() *
+                     bg.llc_sweep_pressure();
+  return 1.0 + chan + queue + cap;
+}
+
+void BandwidthContentionModel::save(std::ostream& os) const {
+  os.precision(17);
+  os << "coperf-model bandwidth v1\n"
+     << params_.saturation << ' ' << params_.asymmetry_coeff << ' '
+     << params_.queue_coeff << ' ' << params_.capacity_coeff << '\n';
+}
+
+void BandwidthContentionModel::load(std::istream& is) {
+  expect_tag(is, "coperf-model bandwidth v1");
+  is >> params_.saturation >> params_.asymmetry_coeff >> params_.queue_coeff >>
+      params_.capacity_coeff;
+  if (!is) throw std::runtime_error{"bandwidth model: malformed parameters"};
+}
+
+// ---------------------------------------------------------------------
+// KnnModel
+// ---------------------------------------------------------------------
+
+void KnnModel::train(const std::vector<TrainingPair>& pairs) {
+  if (pairs.empty()) throw std::invalid_argument{"knn: empty training set"};
+  const std::size_t dim = pair_feature_count();
+  rows_.clear();
+  targets_.clear();
+  mean_.assign(dim, 0.0);
+  scale_.assign(dim, 1.0);
+  for (const auto& p : pairs) {
+    rows_.push_back(pair_features(p.fg, p.bg));
+    targets_.push_back(p.slowdown);
+  }
+  for (const auto& r : rows_)
+    for (std::size_t f = 0; f < dim; ++f) mean_[f] += r[f];
+  for (double& m : mean_) m /= static_cast<double>(rows_.size());
+  std::vector<double> var(dim, 0.0);
+  for (const auto& r : rows_)
+    for (std::size_t f = 0; f < dim; ++f)
+      var[f] += (r[f] - mean_[f]) * (r[f] - mean_[f]);
+  for (std::size_t f = 0; f < dim; ++f) {
+    const double sd = std::sqrt(var[f] / static_cast<double>(rows_.size()));
+    scale_[f] = sd > 1e-12 ? sd : 1.0;
+  }
+  for (auto& r : rows_)
+    for (std::size_t f = 0; f < dim; ++f) r[f] = (r[f] - mean_[f]) / scale_[f];
+}
+
+double KnnModel::predict(const WorkloadSignature& fg,
+                         const WorkloadSignature& bg) const {
+  if (rows_.empty())
+    throw std::logic_error{"knn: predict() before train()/load()"};
+  std::vector<double> q = pair_features(fg, bg);
+  for (std::size_t f = 0; f < q.size(); ++f) q[f] = (q[f] - mean_[f]) / scale_[f];
+  std::vector<std::pair<double, double>> by_dist;  // (distance^2, target)
+  by_dist.reserve(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t f = 0; f < q.size(); ++f) {
+      const double d = rows_[i][f] - q[f];
+      d2 += d * d;
+    }
+    by_dist.emplace_back(d2, targets_[i]);
+  }
+  const std::size_t k = std::min<std::size_t>(k_ ? k_ : 1, by_dist.size());
+  std::partial_sort(by_dist.begin(),
+                    by_dist.begin() + static_cast<std::ptrdiff_t>(k),
+                    by_dist.end());
+  // Distance-weighted mean of the k nearest observed slowdowns.
+  double wsum = 0.0, vsum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (std::sqrt(by_dist[i].first) + 1e-6);
+    wsum += w;
+    vsum += w * by_dist[i].second;
+  }
+  return vsum / wsum;
+}
+
+void KnnModel::save(std::ostream& os) const {
+  os.precision(17);
+  os << "coperf-model knn v1\n"
+     << k_ << ' ' << mean_.size() << ' ' << rows_.size() << '\n';
+  for (double m : mean_) os << m << ' ';
+  os << '\n';
+  for (double s : scale_) os << s << ' ';
+  os << '\n';
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    for (double f : rows_[i]) os << f << ' ';
+    os << targets_[i] << '\n';
+  }
+}
+
+void KnnModel::load(std::istream& is) {
+  expect_tag(is, "coperf-model knn v1");
+  std::size_t dim = 0, n = 0;
+  is >> k_ >> dim >> n;
+  if (!is || dim != pair_feature_count() || n == 0)
+    throw std::runtime_error{
+        "knn model: feature dimension/row count does not match this build"};
+  mean_.assign(dim, 0.0);
+  scale_.assign(dim, 1.0);
+  for (double& m : mean_) is >> m;
+  for (double& s : scale_) is >> s;
+  rows_.assign(n, std::vector<double>(dim, 0.0));
+  targets_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& f : rows_[i]) is >> f;
+    is >> targets_[i];
+  }
+  if (!is) throw std::runtime_error{"knn model: malformed body"};
+}
+
+// ---------------------------------------------------------------------
+// LeastSquaresModel
+// ---------------------------------------------------------------------
+
+void LeastSquaresModel::train(const std::vector<TrainingPair>& pairs) {
+  if (pairs.empty()) throw std::invalid_argument{"lstsq: empty training set"};
+  const std::size_t dim = pair_feature_count() + 1;  // bias column
+  // Normal equations (X^T X + ridge I) w = X^T y, solved by Gaussian
+  // elimination with partial pivoting -- dim is ~11, so exact solve is
+  // cheaper than iterating.
+  std::vector<std::vector<double>> a(dim, std::vector<double>(dim, 0.0));
+  std::vector<double> b(dim, 0.0);
+  for (const auto& p : pairs) {
+    std::vector<double> x = pair_features(p.fg, p.bg);
+    x.insert(x.begin(), 1.0);
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (std::size_t j = 0; j < dim; ++j) a[i][j] += x[i] * x[j];
+      b[i] += x[i] * p.slowdown;
+    }
+  }
+  for (std::size_t i = 1; i < dim; ++i) a[i][i] += ridge_;  // don't shrink bias
+  for (std::size_t col = 0; col < dim; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < dim; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    if (std::abs(a[col][col]) < 1e-12)
+      throw std::runtime_error{"lstsq: singular normal equations"};
+    for (std::size_t r = 0; r < dim; ++r) {
+      if (r == col) continue;
+      const double factor = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < dim; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  weights_.assign(dim, 0.0);
+  for (std::size_t i = 0; i < dim; ++i) weights_[i] = b[i] / a[i][i];
+}
+
+double LeastSquaresModel::predict(const WorkloadSignature& fg,
+                                  const WorkloadSignature& bg) const {
+  if (weights_.empty())
+    throw std::logic_error{"lstsq: predict() before train()/load()"};
+  const std::vector<double> x = pair_features(fg, bg);
+  double y = weights_[0];
+  for (std::size_t f = 0; f < x.size(); ++f) y += weights_[f + 1] * x[f];
+  return y;
+}
+
+void LeastSquaresModel::save(std::ostream& os) const {
+  os.precision(17);
+  os << "coperf-model lstsq v1\n" << ridge_ << ' ' << weights_.size() << '\n';
+  for (double w : weights_) os << w << ' ';
+  os << '\n';
+}
+
+void LeastSquaresModel::load(std::istream& is) {
+  expect_tag(is, "coperf-model lstsq v1");
+  std::size_t dim = 0;
+  is >> ridge_ >> dim;
+  if (!is || dim != pair_feature_count() + 1)
+    throw std::runtime_error{
+        "lstsq model: weight dimension does not match this build"};
+  weights_.assign(dim, 0.0);
+  for (double& w : weights_) is >> w;
+  if (!is) throw std::runtime_error{"lstsq model: malformed body"};
+}
+
+// ---------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------
+
+std::unique_ptr<InterferenceModel> make_model(std::string_view name) {
+  if (name == "bandwidth") return std::make_unique<BandwidthContentionModel>();
+  if (name == "knn") return std::make_unique<KnnModel>();
+  if (name == "lstsq") return std::make_unique<LeastSquaresModel>();
+  throw std::invalid_argument{"make_model: unknown model '" +
+                              std::string{name} + "'"};
+}
+
+std::unique_ptr<InterferenceModel> load_model(std::istream& is) {
+  std::stringstream buffered;
+  buffered << is.rdbuf();
+  std::string tag, word, name;
+  std::getline(buffered, tag);
+  std::istringstream ts{tag};
+  ts >> word >> name;
+  if (word != "coperf-model")
+    throw std::runtime_error{"load_model: not a coperf model file"};
+  auto model = make_model(name);
+  buffered.seekg(0);
+  model->load(buffered);
+  return model;
+}
+
+}  // namespace coperf::predict

@@ -1,0 +1,35 @@
+// Predicted co-run matrix (prediction subsystem).
+//
+// Builds a harness::CorunMatrix from N solo signatures and an
+// InterferenceModel -- the O(N) replacement for the O(N^2) measured
+// sweep. The result is shape- and semantics-compatible with the
+// measured matrix, so classify, report, and scheduler consume it
+// unchanged.
+#pragma once
+
+#include "harness/matrix.hpp"
+#include "predict/model.hpp"
+#include "predict/signature.hpp"
+
+namespace coperf::predict {
+
+/// Predicted normalized-runtime matrix over `sigs` (axis order
+/// preserved). Every cell is clamped to >= 1.0: a co-runner cannot make
+/// the foreground faster in this contention model, and downstream
+/// consumers assume slowdowns.
+harness::CorunMatrix predicted_matrix(const std::vector<WorkloadSignature>& sigs,
+                                      const InterferenceModel& model);
+
+/// Convenience end-to-end path: N solo runs -> signatures -> predicted
+/// matrix, never invoking run_pair.
+harness::CorunMatrix predict_from_solo_runs(
+    const std::vector<std::string>& workloads, const harness::RunOptions& opt,
+    const InterferenceModel& model, unsigned reps = 3);
+
+/// Extracts the measured training set for the data-driven models: one
+/// TrainingPair per (fg, bg) cell of a measured matrix.
+std::vector<TrainingPair> training_pairs(
+    const harness::CorunMatrix& measured,
+    const std::vector<WorkloadSignature>& sigs);
+
+}  // namespace coperf::predict

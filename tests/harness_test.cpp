@@ -10,6 +10,7 @@
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
 #include "harness/scalability.hpp"
+#include "harness/scheduler.hpp"
 
 namespace coperf::harness {
 namespace {
@@ -145,6 +146,37 @@ TEST(Matrix, SubsetSweepAndClasses) {
       EXPECT_GT(m.at(i, j), 0.8) << i << "," << j;
   const auto counts = m.count_classes();
   EXPECT_EQ(counts.harmony + counts.victim_offender + counts.both_victim, 3u);
+}
+
+TEST(Matrix, AtRejectsOutOfRangeIndices) {
+  CorunMatrix m;
+  m.workloads = {"a", "b"};
+  m.solo_cycles = {1, 1};
+  m.normalized = {{1.0, 1.1}, {1.2, 1.0}};
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 1.2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(Scheduler, ValidatesJobLists) {
+  CorunMatrix m;
+  m.workloads = {"a", "b", "c", "d"};
+  m.solo_cycles = {1, 1, 1, 1};
+  m.normalized.assign(4, std::vector<double>(4, 1.0));
+  const std::vector<std::size_t> ok = {0, 1, 2, 3};
+  EXPECT_EQ(schedule_greedy(m, ok).pairs.size(), 2u);
+  EXPECT_EQ(schedule_optimal(m, ok).pairs.size(), 2u);
+  EXPECT_EQ(schedule_worst(m, ok).pairs.size(), 2u);
+  // Odd-sized, out-of-range, and duplicate job lists are rejected with
+  // clear errors instead of undefined behavior.
+  const std::vector<std::size_t> odd = {0, 1, 2};
+  const std::vector<std::size_t> oob = {0, 1, 2, 4};
+  const std::vector<std::size_t> dup = {0, 1, 1, 2};
+  for (auto* fn : {&schedule_greedy, &schedule_optimal, &schedule_worst}) {
+    EXPECT_THROW((*fn)(m, odd), std::invalid_argument);
+    EXPECT_THROW((*fn)(m, oob), std::out_of_range);
+    EXPECT_THROW((*fn)(m, dup), std::invalid_argument);
+  }
 }
 
 TEST(Matrix, RowHelperMatchesPairRuns) {

@@ -1,0 +1,312 @@
+// Tests for the interference-prediction subsystem: signature
+// extraction, model save/load, predicted-matrix invariants, and the
+// analytic model reproducing measured pair classes end to end.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/classify.hpp"
+#include "predict/eval.hpp"
+#include "predict/model.hpp"
+#include "predict/predicted_matrix.hpp"
+#include "predict/signature.hpp"
+
+namespace coperf::predict {
+namespace {
+
+harness::RunOptions tiny_opts() {
+  harness::RunOptions o;
+  o.machine = sim::MachineConfig::scaled();
+  o.size = wl::SizeClass::Tiny;
+  o.threads = 4;
+  return o;
+}
+
+/// Hand-built signature for simulation-free unit tests.
+WorkloadSignature synthetic(const std::string& name, double bw_fraction,
+                            double l2_pcp, double llc_mpki, double l2_mpki,
+                            double footprint_vs_llc, double prefetch_share) {
+  WorkloadSignature s;
+  s.workload = name;
+  s.threads = 4;
+  s.bw_fraction = bw_fraction;
+  s.solo_bw_gbs = bw_fraction * 28.0;
+  s.l2_pcp = l2_pcp;
+  s.mem_stall_frac = l2_pcp * 0.9;
+  s.llc_mpki = llc_mpki;
+  s.l2_mpki = l2_mpki;
+  s.cpi = 1.0 + l2_pcp;
+  s.ipc = 1.0 / s.cpi;
+  s.ll = 100.0;
+  s.footprint_vs_llc = footprint_vs_llc;
+  s.prefetch_share = prefetch_share;
+  s.solo_cycles = 1'000'000;
+  s.solo_seconds = 3.7e-4;
+  return s;
+}
+
+std::vector<WorkloadSignature> synthetic_suite() {
+  return {
+      synthetic("stream-like", 0.95, 0.95, 50.0, 50.0, 2.5, 0.8),
+      synthetic("llc-resident", 0.35, 0.6, 3.0, 120.0, 1.5, 0.7),
+      synthetic("prefetch-stream", 0.8, 0.25, 0.5, 0.6, 3.0, 0.95),
+      synthetic("compute", 0.02, 0.01, 0.05, 0.06, 0.05, 0.2),
+      synthetic("conflict-gen", 0.45, 0.99, 200.0, 200.0, 3.0, 0.0),
+      synthetic("moderate", 0.5, 0.4, 10.0, 30.0, 1.2, 0.6),
+  };
+}
+
+TEST(Signature, ExtractionIsDeterministic) {
+  const auto opt = tiny_opts();
+  const auto a = WorkloadSignature::from(harness::run_solo("Stream", opt),
+                                         opt.machine);
+  const auto b = WorkloadSignature::from(harness::run_solo("Stream", opt),
+                                         opt.machine);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.workload, "Stream");
+  EXPECT_GT(a.bw_fraction, 0.5) << "Stream should be bandwidth-hungry";
+  EXPECT_GT(a.solo_cycles, 0u);
+}
+
+TEST(Signature, FeatureVectorMatchesNames) {
+  const auto s = synthetic("x", 0.5, 0.5, 10.0, 20.0, 1.0, 0.5);
+  EXPECT_EQ(s.features().size(), WorkloadSignature::feature_names().size());
+}
+
+TEST(Signature, ScoresAreBounded) {
+  for (const auto& s : synthetic_suite()) {
+    EXPECT_GE(s.sensitivity(), 0.0);
+    EXPECT_LE(s.sensitivity(), 1.0);
+    EXPECT_GE(s.intensity(), 0.0);
+    EXPECT_LE(s.intensity(), 1.5);
+  }
+  // A pure-compute workload must score near zero on both axes.
+  const auto compute = synthetic("compute", 0.02, 0.01, 0.05, 0.06, 0.05, 0.2);
+  EXPECT_LT(compute.sensitivity(), 0.1);
+  EXPECT_LT(compute.intensity(), 0.1);
+}
+
+TEST(Signature, SaveLoadRoundTrip) {
+  const auto sigs = synthetic_suite();
+  std::stringstream ss;
+  save_signatures(ss, sigs);
+  const auto loaded = load_signatures(ss);
+  ASSERT_EQ(loaded.size(), sigs.size());
+  for (std::size_t i = 0; i < sigs.size(); ++i) EXPECT_EQ(loaded[i], sigs[i]);
+}
+
+TEST(Signature, LoadRejectsBadHeader) {
+  std::stringstream ss{"not-a-signature-file\n"};
+  EXPECT_THROW(load_signatures(ss), std::runtime_error);
+}
+
+TEST(Model, BandwidthSaveLoadRoundTrip) {
+  BandwidthContentionModel::Params p;
+  p.saturation = 0.9;
+  p.asymmetry_coeff = 1.25;
+  p.queue_coeff = 0.5;
+  p.capacity_coeff = 2.0;
+  const BandwidthContentionModel m{p};
+  std::stringstream ss;
+  m.save(ss);
+  BandwidthContentionModel loaded;
+  loaded.load(ss);
+  EXPECT_EQ(loaded.params(), p);
+}
+
+TEST(Model, TrainedModelsSurviveSaveLoad) {
+  const auto sigs = synthetic_suite();
+  harness::CorunMatrix fake;
+  for (const auto& s : sigs) {
+    fake.workloads.push_back(s.workload);
+    fake.solo_cycles.push_back(s.solo_cycles);
+  }
+  const BandwidthContentionModel teacher;
+  fake.normalized.assign(sigs.size(), std::vector<double>(sigs.size(), 1.0));
+  for (std::size_t i = 0; i < sigs.size(); ++i)
+    for (std::size_t j = 0; j < sigs.size(); ++j)
+      fake.normalized[i][j] = teacher.predict(sigs[i], sigs[j]);
+  const auto pairs = training_pairs(fake, sigs);
+
+  KnnModel knn{3};
+  knn.train(pairs);
+  LeastSquaresModel lstsq;
+  lstsq.train(pairs);
+
+  for (InterferenceModel* m : {static_cast<InterferenceModel*>(&knn),
+                               static_cast<InterferenceModel*>(&lstsq)}) {
+    std::stringstream ss;
+    m->save(ss);
+    const auto loaded = load_model(ss);
+    EXPECT_EQ(loaded->name(), m->name());
+    for (std::size_t i = 0; i < sigs.size(); ++i)
+      for (std::size_t j = 0; j < sigs.size(); ++j)
+        EXPECT_DOUBLE_EQ(loaded->predict(sigs[i], sigs[j]),
+                         m->predict(sigs[i], sigs[j]))
+            << m->name() << " changed after save/load";
+  }
+}
+
+TEST(Model, AnalyticPredictionIsMonotoneInBackgroundDemand) {
+  // A louder background must never predict a smaller slowdown --
+  // especially across the saturation knee, where the scheduler depends
+  // on the pair ordering.
+  const BandwidthContentionModel model;
+  const auto fg = synthetic("victim", 0.5, 0.3, 3.0, 6.0, 1.0, 0.5);
+  double prev = 0.0;
+  for (double bb = 0.0; bb <= 1.2; bb += 0.01) {
+    auto bg = synthetic("offender", bb, 0.5, 10.0, 10.0, 2.0, 0.8);
+    const double s = model.predict(fg, bg);
+    EXPECT_GE(s, prev - 1e-12) << "slowdown dropped at bg bw_fraction " << bb;
+    prev = s;
+  }
+}
+
+TEST(Model, LoadRejectsForeignFeatureDimension) {
+  // A file whose stored dimension disagrees with this build's
+  // pair_features() must be rejected at load, not crash at predict.
+  std::stringstream knn{"coperf-model knn v1\n3 5 1\n0 0 0 0 0\n1 1 1 1 1\n"
+                        "0 0 0 0 0 1.5\n"};
+  EXPECT_THROW(KnnModel{}.load(knn), std::runtime_error);
+  std::stringstream lstsq{"coperf-model lstsq v1\n0.001 4\n1 0 0 0\n"};
+  EXPECT_THROW(LeastSquaresModel{}.load(lstsq), std::runtime_error);
+}
+
+TEST(Model, FactoryKnowsAllModels) {
+  EXPECT_EQ(make_model("bandwidth")->name(), "bandwidth");
+  EXPECT_EQ(make_model("knn")->name(), "knn");
+  EXPECT_EQ(make_model("lstsq")->name(), "lstsq");
+  EXPECT_THROW(make_model("oracle"), std::invalid_argument);
+}
+
+TEST(Model, UntrainedPredictThrows) {
+  const auto s = synthetic("x", 0.5, 0.5, 10.0, 20.0, 1.0, 0.5);
+  EXPECT_THROW(KnnModel{}.predict(s, s), std::logic_error);
+  EXPECT_THROW(LeastSquaresModel{}.predict(s, s), std::logic_error);
+  EXPECT_THROW(KnnModel{}.train({}), std::invalid_argument);
+}
+
+TEST(Model, LeastSquaresRecoversLinearTarget) {
+  // Slowdown defined as an exact linear function of the pair features
+  // must be recovered (near-)exactly by the ridge solve.
+  const auto sigs = synthetic_suite();
+  std::vector<TrainingPair> pairs;
+  for (const auto& fg : sigs)
+    for (const auto& bg : sigs) {
+      const auto x = pair_features(fg, bg);
+      pairs.push_back({fg, bg, 1.0 + 0.5 * x[0] + 0.25 * x[3]});
+    }
+  LeastSquaresModel m{1e-9};
+  m.train(pairs);
+  for (const auto& p : pairs)
+    EXPECT_NEAR(m.predict(p.fg, p.bg), p.slowdown, 1e-6);
+}
+
+TEST(PredictedMatrix, ShapeAndNormalizationInvariants) {
+  const auto sigs = synthetic_suite();
+  const BandwidthContentionModel model;
+  const harness::CorunMatrix m = predicted_matrix(sigs, model);
+  ASSERT_EQ(m.size(), sigs.size());
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    EXPECT_EQ(m.workloads[i], sigs[i].workload);
+    EXPECT_EQ(m.solo_cycles[i], sigs[i].solo_cycles);
+    ASSERT_EQ(m.normalized[i].size(), sigs.size());
+    for (std::size_t j = 0; j < sigs.size(); ++j)
+      EXPECT_GE(m.at(i, j), 1.0) << "a co-runner cannot speed up the fg";
+  }
+  // Diagonal: self co-run of a bandwidth hog must not be harmonious.
+  EXPECT_GT(m.at(0, 0), harness::kVictimThreshold);
+  EXPECT_THROW(predicted_matrix({}, model), std::invalid_argument);
+}
+
+TEST(PredictedMatrix, FeedsExistingConsumersUnchanged) {
+  const auto sigs = synthetic_suite();
+  const BandwidthContentionModel model;
+  const harness::CorunMatrix m = predicted_matrix(sigs, model);
+  // classify / count_classes / scheduler all operate on the predicted
+  // matrix exactly as on a measured one.
+  const auto counts = m.count_classes();
+  EXPECT_EQ(counts.harmony + counts.victim_offender + counts.both_victim,
+            sigs.size() * (sigs.size() + 1) / 2);
+  std::vector<std::size_t> jobs(sigs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i] = i;
+  const auto study = harness::scheduling_study(m, jobs);
+  EXPECT_EQ(study.greedy.pairs.size(), jobs.size() / 2);
+  EXPECT_GE(study.improvement, 1.0);
+  // The greedy plan must beat pairing the two loudest workloads
+  // together, which is what the adversarial baseline does.
+  EXPECT_LE(study.greedy.total_cost, study.worst.total_cost);
+}
+
+TEST(PredictedMatrix, TrainingPairsValidatesAxes) {
+  const auto sigs = synthetic_suite();
+  harness::CorunMatrix m;
+  m.workloads = {"a", "b"};
+  m.normalized = {{1.0, 1.0}, {1.0, 1.0}};
+  m.solo_cycles = {1, 1};
+  EXPECT_THROW(training_pairs(m, sigs), std::invalid_argument);
+}
+
+TEST(Eval, PerfectPredictionScoresPerfectly) {
+  const auto sigs = synthetic_suite();
+  const BandwidthContentionModel model;
+  const harness::CorunMatrix m = predicted_matrix(sigs, model);
+  const EvalResult e = evaluate(m, m);
+  EXPECT_DOUBLE_EQ(e.mae, 0.0);
+  EXPECT_DOUBLE_EQ(e.rmse, 0.0);
+  EXPECT_NEAR(e.spearman, 1.0, 1e-9);
+  EXPECT_EQ(e.confusion.agree(), e.confusion.total());
+  EXPECT_DOUBLE_EQ(e.confusion.agreement(), 1.0);
+  EXPECT_FALSE(e.summary().empty());
+}
+
+TEST(Eval, LeaveOneOutPredictsHeldOutRows) {
+  const auto sigs = synthetic_suite();
+  // Ground truth generated by the analytic model: the data-driven
+  // models must recover it from held-out training alone.
+  const BandwidthContentionModel teacher;
+  const harness::CorunMatrix truth = predicted_matrix(sigs, teacher);
+  const EvalResult knn = leave_one_out(
+      truth, sigs, [] { return std::make_unique<KnnModel>(3); });
+  EXPECT_GT(knn.spearman, 0.5);
+  const EvalResult lstsq = leave_one_out(
+      truth, sigs, [] { return std::make_unique<LeastSquaresModel>(); });
+  EXPECT_GT(lstsq.spearman, 0.7);
+  EXPECT_LT(lstsq.mae, 0.25);
+  EXPECT_THROW(
+      leave_one_out(truth, {sigs[0]},
+                    [] { return std::make_unique<KnnModel>(); }),
+      std::invalid_argument);
+}
+
+// The acceptance-criteria path: solo signatures -> analytic prediction
+// reproduces the measured Tiny-size pair class for Stream against the
+// cache-light workloads, without ever measuring a co-run.
+TEST(Integration, AnalyticModelReproducesMeasuredPairClass) {
+  const auto opt = tiny_opts();
+  const std::vector<std::string> workloads = {"Stream", "Bandit",
+                                              "blackscholes"};
+  const auto sigs = collect_signatures(workloads, opt, /*reps=*/1);
+  const BandwidthContentionModel model;
+  const harness::CorunMatrix predicted = predicted_matrix(sigs, model);
+
+  const auto measured_class = [&](std::size_t i, std::size_t j) {
+    const auto ij = harness::run_pair(workloads[i], workloads[j], opt);
+    const auto ji = harness::run_pair(workloads[j], workloads[i], opt);
+    const double si = static_cast<double>(ij.fg.cycles) /
+                      static_cast<double>(sigs[i].solo_cycles);
+    const double sj = static_cast<double>(ji.fg.cycles) /
+                      static_cast<double>(sigs[j].solo_cycles);
+    return harness::classify_pair(si, sj);
+  };
+
+  // Stream vs Bandit: the conflict-miss generator is the victim of the
+  // bandwidth hog (paper Fig. 6), and Stream vs the cache-light
+  // blackscholes is harmonious.
+  EXPECT_EQ(predicted.pair_class(0, 1), measured_class(0, 1));
+  EXPECT_EQ(predicted.pair_class(0, 2), measured_class(0, 2));
+  EXPECT_EQ(predicted.pair_class(0, 2), harness::PairClass::Harmony);
+}
+
+}  // namespace
+}  // namespace coperf::predict
