@@ -1,0 +1,134 @@
+// Cluster placement regret: what prediction quality buys an online
+// scheduler, and what online refinement buys on top.
+//
+// 1. Measure the ground-truth co-run matrix on a subset (default: the
+//    8-workload Tiny set predictor_accuracy uses).
+// 2. Build the analytic predicted matrix from solo signatures, and
+//    distill it into the trainable models (kNN, least squares) so they
+//    can absorb observations.
+// 3. Sweep synthetic arrival traces (--reps seeds) through the cluster
+//    simulator under each policy and report mean stretch and regret
+//    against the oracle: random, static-analytic (frozen prediction),
+//    online-refined lstsq/knn (prediction + observe() feedback), oracle.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "cluster/cluster.hpp"
+#include "harness/report.hpp"
+#include "predict/predicted_matrix.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace coperf;
+  const auto args = bench::parse_args(argc, argv, /*subset_supported=*/true);
+  bench::print_config(args, "cluster placement regret -- "
+                            "{random, static, online} vs oracle");
+
+  std::vector<std::string> subset = args.subset;
+  if (subset.empty())
+    subset = {"Stream", "Bandit", "G-PR", "CIFAR", "fotonik3d",
+              "swaptions", "IRSmk", "blackscholes"};
+
+  harness::MatrixOptions mo;
+  mo.run = args.run_options();
+  mo.reps = args.effective_reps();
+  mo.subset = subset;
+
+  std::cout << "collecting " << subset.size() << " solo signatures...\n";
+  const auto sigs =
+      predict::collect_signatures(subset, mo.run, args.effective_reps());
+  for (const auto& s : sigs) mo.solo_cycles.push_back(s.solo_cycles);
+
+  std::cout << "measuring the " << subset.size() << "x" << subset.size()
+            << " ground-truth matrix (" << subset.size() * subset.size()
+            << " co-runs)...\n\n";
+  const harness::CorunMatrix truth = harness::corun_matrix(mo);
+
+  const predict::BandwidthContentionModel analytic;
+  const harness::CorunMatrix predicted = predict::predicted_matrix(sigs, analytic);
+  const auto distilled_pairs = predict::training_pairs(predicted, sigs);
+
+  cluster::ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.slots = 2;
+  cluster::TraceOptions topt;
+  topt.jobs = 1000;
+  topt.mean_work = 8.0;
+  topt.mean_interarrival =
+      topt.mean_work / (0.8 * static_cast<double>(cfg.machines * cfg.slots));
+
+  // Trace seeds are independent of the measurement reps: even a
+  // --quick run sweeps a few arrival patterns.
+  const unsigned seeds = std::max(3u, args.effective_reps());
+  struct Row {
+    std::string name;
+    double stretch = 0.0, slowdown = 0.0, regret = 0.0;
+  };
+  std::vector<Row> rows = {{"random", 0, 0, 0},
+                           {"static-analytic", 0, 0, 0},
+                           {"online-lstsq", 0, 0, 0},
+                           {"online-knn", 0, 0, 0},
+                           {"oracle", 0, 0, 0}};
+
+  std::cout << "sweeping " << seeds << " arrival trace(s) of " << topt.jobs
+            << " jobs over " << cfg.machines << " machines x " << cfg.slots
+            << " slots...\n";
+  for (unsigned seed = 1; seed <= seeds; ++seed) {
+    topt.seed = seed;
+    const auto trace = cluster::synthetic_trace(subset.size(), topt);
+
+    // Fresh policy state per trace: regret measures one cold start.
+    auto lstsq = std::make_unique<predict::LeastSquaresModel>();
+    lstsq->train(distilled_pairs);
+    auto knn = std::make_unique<predict::KnnModel>();
+    knn->train(distilled_pairs);
+    cluster::RandomPolicy random{seed};
+    cluster::CostModelPolicy statics{"static-analytic", predicted};
+    cluster::OnlineRefinedPolicy online_lstsq{"online-lstsq",
+                                              std::move(lstsq), sigs};
+    cluster::OnlineRefinedPolicy online_knn{"online-knn", std::move(knn),
+                                            sigs};
+    cluster::CostModelPolicy oracle{"oracle", truth};
+
+    cluster::PlacementPolicy* policies[] = {&random, &statics, &online_lstsq,
+                                            &online_knn, &oracle};
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      const auto run = cluster::simulate(cfg, truth, trace, *policies[p]);
+      rows[p].stretch += run.mean_stretch;
+      rows[p].slowdown += run.mean_corun_slowdown;
+      rows[p].regret += run.mean_decision_regret;
+    }
+  }
+
+  harness::Table table{{"policy", "mean stretch", "co-run slowdown",
+                        "decision regret"}};
+  std::string csv = "policy,mean_stretch,corun_slowdown,decision_regret\n";
+  for (Row& r : rows) {
+    r.stretch /= seeds;
+    r.slowdown /= seeds;
+    r.regret /= seeds;
+    table.add_row({r.name, harness::Table::fmt(r.stretch, 3),
+                   harness::Table::fmt(r.slowdown, 3),
+                   harness::Table::fmt(r.regret, 4)});
+    csv += r.name + "," + harness::Table::fmt(r.stretch, 4) + "," +
+           harness::Table::fmt(r.slowdown, 4) + "," +
+           harness::Table::fmt(r.regret, 5) + "\n";
+  }
+  table.print(std::cout);
+
+  const double static_regret = rows[1].regret;
+  const double online_regret = rows[2].regret;
+  std::cout << "\nper-decision placement regret (machine time handed to "
+               "interference, billed at ground truth):\n"
+            << "  online-refined " << harness::Table::fmt(online_regret, 4)
+            << " vs static-analytic "
+            << harness::Table::fmt(static_regret, 4) << " -- "
+            << (online_regret <= static_regret + 1e-9 ? "refinement pays"
+                                                      : "REGRESSION")
+            << "\n";
+  if (args.csv) std::cout << "\n" << csv;
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
+}

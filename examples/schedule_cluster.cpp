@@ -1,53 +1,96 @@
-// Interference-aware consolidation demo (extension): characterize a set
-// of jobs with a small co-run matrix, then compare an
-// interference-aware pairing against an adversarial one -- the paper's
-// motivating use case for its characterization (Section I).
+// Cluster-scale interference-aware scheduling demo: from solo profiles
+// to an online placement loop.
 //
-// Usage: schedule_cluster [job1 job2 ... job2k]
+// 1. Profile a small job mix and measure its co-run matrix (the ground
+//    truth the simulator runs on).
+// 2. Predict the matrix from the solo signatures alone (the O(N) path).
+// 3. Stream a synthetic arrival trace through a simulated cluster and
+//    compare placement policies: random, static-analytic (frozen
+//    prediction), online-refined (prediction + observe() feedback from
+//    every placement), and the oracle (truth matrix).
+//
+// Usage: schedule_cluster [job1 job2 ... jobN]
 //   default: G-CC fotonik3d swaptions IRSmk blackscholes CIFAR
 #include <iostream>
+#include <memory>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "core/session.hpp"
 #include "harness/report.hpp"
-#include "harness/scheduler.hpp"
+#include "predict/predicted_matrix.hpp"
 
 int main(int argc, char** argv) {
+  using namespace coperf;
   std::vector<std::string> jobs;
   for (int i = 1; i < argc; ++i) jobs.emplace_back(argv[i]);
   if (jobs.empty())
     jobs = {"G-CC", "fotonik3d", "swaptions", "IRSmk", "blackscholes", "CIFAR"};
-  if (jobs.size() % 2 != 0) {
-    std::cerr << "need an even number of jobs\n";
-    return 1;
+
+  Session session{sim::MachineConfig::scaled(), wl::SizeClass::Tiny};
+  std::cout << "profiling " << jobs.size() << " workload types (solo) and "
+            << "measuring the " << jobs.size() << "x" << jobs.size()
+            << " ground-truth matrix...\n\n";
+  const auto sigs = predict::collect_signatures(jobs, session.options(),
+                                                /*reps=*/1);
+  const auto truth = session.corun_matrix(/*reps=*/1, jobs);
+  harness::print_heatmap(std::cout, truth);
+
+  // The analytic prediction, and a least-squares model distilled from
+  // it: the distilled model starts where the analytic one stands but
+  // can absorb observations (RLS) as the cluster runs.
+  const predict::BandwidthContentionModel analytic;
+  const auto predicted = predict::predicted_matrix(sigs, analytic);
+  auto online_model = std::make_unique<predict::LeastSquaresModel>();
+  online_model->train(predict::training_pairs(predicted, sigs));
+
+  cluster::ClusterConfig cfg;
+  cfg.machines = 3;
+  cfg.slots = 2;
+  cluster::TraceOptions topt;
+  topt.jobs = 60;
+  topt.seed = 7;
+  topt.mean_work = 8.0;
+  // ~80% offered load against the cluster's 6 slots.
+  topt.mean_interarrival =
+      topt.mean_work / (0.8 * static_cast<double>(cfg.machines * cfg.slots));
+  const auto trace = cluster::synthetic_trace(jobs.size(), topt);
+
+  cluster::RandomPolicy random{topt.seed};
+  cluster::CostModelPolicy statics{"static-analytic", predicted};
+  cluster::OnlineRefinedPolicy online{"online-refined",
+                                      std::move(online_model), sigs};
+  cluster::CostModelPolicy oracle{"oracle", truth};
+
+  std::cout << "\nstreaming " << trace.size() << " jobs onto "
+            << cfg.machines << " machines x " << cfg.slots
+            << " slots (first placements):\n";
+  {
+    const auto run = cluster::simulate(cfg, truth, trace, statics);
+    std::string text = run.log.str(truth.workloads);
+    std::size_t lines = 0, pos = 0;
+    while (lines < 8 && (pos = text.find('\n', pos)) != std::string::npos)
+      ++lines, ++pos;
+    std::cout << text.substr(0, pos) << "  ...\n";
   }
 
-  coperf::Session session;
-  std::cout << "characterizing " << jobs.size() << " jobs ("
-            << jobs.size() * jobs.size() << " co-run cells)...\n\n";
-  const auto matrix = session.corun_matrix(/*reps=*/1, jobs);
-  coperf::harness::print_heatmap(std::cout, matrix);
-
-  std::vector<std::size_t> idx(jobs.size());
-  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
-  const auto study = coperf::harness::scheduling_study(matrix, idx);
-
-  auto show = [&](const char* name, const coperf::harness::Schedule& s) {
-    std::cout << "\n" << name << " (total cost "
-              << coperf::harness::Table::fmt(s.total_cost)
-              << ", worst slowdown "
-              << coperf::harness::Table::fmt(s.worst_slowdown) << "x, worst "
-              << coperf::harness::to_string(s.worst_class) << "):\n";
-    for (const auto& p : s.pairs)
-      std::cout << "  " << matrix.workloads[p.a] << " + "
-                << matrix.workloads[p.b] << "   (cost "
-                << coperf::harness::Table::fmt(p.cost) << ")\n";
+  std::cout << "\npolicy comparison (stretch = solo-normalized turnaround; "
+               "regret = true machine time\nper decision handed to "
+               "interference beyond the best available choice):\n";
+  const auto show = [&](const char* name, const cluster::ClusterResult& r) {
+    std::cout << "  " << name << ": mean stretch "
+              << harness::Table::fmt(r.mean_stretch) << "x, co-run slowdown "
+              << harness::Table::fmt(r.mean_corun_slowdown)
+              << "x, decision regret "
+              << harness::Table::fmt(r.mean_decision_regret, 4) << "\n";
   };
-  show("interference-aware pairing", study.greedy);
-  show("adversarial pairing", study.worst);
-
-  std::cout << "\nconsolidation improvement: "
-            << coperf::harness::Table::fmt(study.improvement)
-            << "x lower total slowdown than the adversarial placement\n";
+  show("random          ", cluster::simulate(cfg, truth, trace, random));
+  show("static-analytic ", cluster::simulate(cfg, truth, trace, statics));
+  const auto online_run = cluster::simulate(cfg, truth, trace, online);
+  show("online-refined  ", online_run);
+  show("oracle          ", cluster::simulate(cfg, truth, trace, oracle));
+  std::cout << "\nonline refinement observed " << online.observed_cells()
+            << "/" << jobs.size() * jobs.size()
+            << " matrix cells while placing the stream\n";
   return 0;
 }

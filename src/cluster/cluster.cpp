@@ -1,0 +1,179 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "harness/scheduler.hpp"
+
+namespace coperf::cluster {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Running {
+  std::size_t job = 0;
+  double remaining = 0.0;  ///< solo-time units still to execute
+};
+
+void validate(const ClusterConfig& cfg, const harness::CorunMatrix& truth,
+              const std::vector<JobSpec>& trace) {
+  if (cfg.machines == 0)
+    throw std::invalid_argument{"simulate: need at least one machine"};
+  if (cfg.slots < 2)
+    throw std::invalid_argument{"simulate: co-run machines need >= 2 slots"};
+  if (truth.size() == 0)
+    throw std::invalid_argument{"simulate: empty ground-truth matrix"};
+  double prev = 0.0;
+  for (const JobSpec& j : trace) {
+    if (j.type >= truth.size())
+      throw std::invalid_argument{"simulate: job type outside the matrix"};
+    if (j.work <= 0.0)
+      throw std::invalid_argument{"simulate: job work must be positive"};
+    if (j.arrival < prev)
+      throw std::invalid_argument{"simulate: arrivals must be sorted"};
+    prev = j.arrival;
+  }
+}
+
+}  // namespace
+
+ClusterResult simulate(const ClusterConfig& cfg,
+                       const harness::CorunMatrix& truth,
+                       const std::vector<JobSpec>& trace,
+                       PlacementPolicy& policy) {
+  validate(cfg, truth, trace);
+
+  std::vector<std::vector<Running>> machines(cfg.machines);
+  std::deque<std::size_t> waiting;  // arrived, not yet placed (FIFO)
+  ClusterResult res;
+  res.outcomes.resize(trace.size());
+  double t = 0.0;
+  std::size_t next_arrival = 0;
+  std::size_t running_count = 0;
+
+  // Current slowdown of one resident: truth-matrix excesses of its
+  // co-residents compose additively (the same composition every
+  // cost-model policy estimates with).
+  const auto slowdown_of = [&](std::size_t m, std::size_t slot) {
+    std::vector<std::size_t> others;
+    others.reserve(machines[m].size());
+    for (std::size_t s = 0; s < machines[m].size(); ++s)
+      if (s != slot) others.push_back(trace[machines[m][s].job].type);
+    return harness::corun_slowdown(truth, trace[machines[m][slot].job].type,
+                                   others);
+  };
+
+  const auto drain_waiting = [&] {
+    while (!waiting.empty()) {
+      std::vector<MachineView> views(cfg.machines);
+      bool any_free = false;
+      for (std::size_t m = 0; m < cfg.machines; ++m) {
+        views[m].free_slots = cfg.slots - machines[m].size();
+        any_free = any_free || views[m].free_slots > 0;
+        for (const Running& r : machines[m])
+          views[m].residents.push_back(
+              {trace[r.job].type, std::max(0.0, r.remaining)});
+      }
+      if (!any_free) return;
+      const std::size_t jid = waiting.front();
+      waiting.pop_front();
+      const JobSpec& job = trace[jid];
+      const std::size_t m = policy.place(job, views);
+      if (m >= cfg.machines || machines[m].size() >= cfg.slots)
+        throw std::logic_error{"simulate: policy chose a full machine"};
+      // Bill the decision at ground truth: how much worse was the
+      // chosen machine than the best one actually available?
+      double chosen = 0.0, best = kInf;
+      for (std::size_t v = 0; v < views.size(); ++v) {
+        if (views[v].free_slots == 0) continue;
+        const double d = placement_delta(truth, job.type, job.work, views[v]);
+        if (v == m) chosen = d;
+        best = std::min(best, d);
+      }
+      res.mean_decision_regret += chosen - best;
+      // Report both orderings of every new co-resident pair: the truth
+      // the online policy refines itself with.
+      for (const Running& r : machines[m]) {
+        const std::size_t rt = trace[r.job].type;
+        policy.observe_pair(job.type, rt, truth.at(job.type, rt));
+        policy.observe_pair(rt, job.type, truth.at(rt, job.type));
+      }
+      machines[m].push_back({jid, job.work});
+      ++running_count;
+      JobOutcome& out = res.outcomes[jid];
+      out.job = jid;
+      out.type = job.type;
+      out.machine = m;
+      out.arrival = job.arrival;
+      out.start = t;
+      out.work = job.work;
+      res.log.events.push_back({TraceEvent::Kind::Place, t, jid, job.type, m,
+                                policy.last_cost_delta()});
+    }
+  };
+
+  while (next_arrival < trace.size() || running_count > 0 ||
+         !waiting.empty()) {
+    // Earliest completion under current (constant-between-events) rates;
+    // ties resolve to the lowest machine then slot, deterministically.
+    double t_done = kInf;
+    std::size_t done_m = 0, done_s = 0;
+    for (std::size_t m = 0; m < cfg.machines; ++m)
+      for (std::size_t s = 0; s < machines[m].size(); ++s) {
+        const double eta =
+            t + std::max(0.0, machines[m][s].remaining) * slowdown_of(m, s);
+        if (eta < t_done) {
+          t_done = eta;
+          done_m = m;
+          done_s = s;
+        }
+      }
+    const double t_arr =
+        next_arrival < trace.size() ? trace[next_arrival].arrival : kInf;
+    if (t_done == kInf && t_arr == kInf)
+      throw std::logic_error{"simulate: stuck with waiting jobs"};
+
+    // Completions first on ties: a freed slot should serve a job
+    // arriving at the same instant.
+    const double te = std::min(t_done, t_arr);
+    for (std::size_t m = 0; m < cfg.machines; ++m)
+      for (std::size_t s = 0; s < machines[m].size(); ++s)
+        machines[m][s].remaining -= (te - t) / slowdown_of(m, s);
+    t = te;
+
+    if (t_done <= t_arr) {
+      const std::size_t jid = machines[done_m][done_s].job;
+      machines[done_m].erase(machines[done_m].begin() +
+                             static_cast<std::ptrdiff_t>(done_s));
+      --running_count;
+      JobOutcome& out = res.outcomes[jid];
+      out.finish = t;
+      res.log.events.push_back({TraceEvent::Kind::Finish, t, jid, out.type,
+                                done_m, out.corun_slowdown()});
+    } else {
+      const JobSpec& job = trace[next_arrival];
+      res.log.events.push_back(
+          {TraceEvent::Kind::Arrive, t, job.id, job.type, 0, 0.0});
+      waiting.push_back(next_arrival);
+      ++next_arrival;
+    }
+    drain_waiting();
+  }
+
+  if (!res.outcomes.empty()) {
+    for (const JobOutcome& o : res.outcomes) {
+      res.mean_stretch += o.stretch();
+      res.mean_corun_slowdown += o.corun_slowdown();
+      res.makespan = std::max(res.makespan, o.finish);
+    }
+    res.mean_stretch /= static_cast<double>(res.outcomes.size());
+    res.mean_corun_slowdown /= static_cast<double>(res.outcomes.size());
+    res.mean_decision_regret /= static_cast<double>(res.outcomes.size());
+  }
+  return res;
+}
+
+}  // namespace coperf::cluster

@@ -1,0 +1,75 @@
+// Streaming cluster-scale interference-aware scheduling (cluster
+// subsystem).
+//
+// The paper's stated payoff for interference characterization is
+// scheduling: keep destructive pairs off the same machine (Sections I,
+// II-B). This module makes that decision *online*, the way a warehouse
+// scheduler must: k machines with >= 2 co-run slots each, a stream of
+// job arrivals and departures, and a PlacementPolicy consulted per
+// arrival. Job progress follows the ground-truth co-run matrix --
+// pairwise excess slowdowns compose additively across a machine's
+// residents (harness::corun_slowdown) -- so after every placement the
+// simulator can report the truly observed pairwise slowdowns back to
+// the policy, which is how the online-refined policy converges on the
+// truth. Everything is deterministic: same trace + same policy state
+// => byte-identical audit log.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cluster/placement.hpp"
+#include "cluster/trace.hpp"
+#include "harness/matrix.hpp"
+
+namespace coperf::cluster {
+
+struct ClusterConfig {
+  std::size_t machines = 4;
+  std::size_t slots = 2;  ///< co-run slots per machine, >= 2
+};
+
+/// What happened to one job.
+struct JobOutcome {
+  std::size_t job = 0;
+  std::size_t type = 0;
+  std::size_t machine = 0;
+  double arrival = 0.0;
+  double start = 0.0;   ///< placement time (== arrival unless it queued)
+  double finish = 0.0;
+  double work = 0.0;
+
+  /// Solo-normalized turnaround including queueing: >= 1.0.
+  double stretch() const { return (finish - arrival) / work; }
+  /// Solo-normalized run time on the machine (pure co-run slowdown).
+  double corun_slowdown() const { return (finish - start) / work; }
+};
+
+struct ClusterResult {
+  std::vector<JobOutcome> outcomes;
+  TraceLog log;
+  double mean_stretch = 0.0;         ///< mean JobOutcome::stretch()
+  double mean_corun_slowdown = 0.0;  ///< mean JobOutcome::corun_slowdown()
+  double makespan = 0.0;             ///< time the last job finished
+  /// Placement regret, billed per decision at ground truth: mean over
+  /// jobs of (true placement_delta of the chosen machine) - (true
+  /// placement_delta of the best available machine). Zero for the
+  /// oracle by construction; the decision-quality metric the regret
+  /// bench and tests compare, immune to downstream queueing chaos that
+  /// otherwise drowns out the placement signal in mean_stretch.
+  double mean_decision_regret = 0.0;
+};
+
+/// Runs the event loop: arrivals are queued FIFO, admitted whenever a
+/// slot is free (policy picks the machine), and run to completion at a
+/// rate of 1/slowdown where the slowdown composes the truth matrix's
+/// pairwise entries over the machine's current residents. Each
+/// placement reports both orderings of every new (job, resident) pair
+/// to the policy via observe_pair().
+ClusterResult simulate(const ClusterConfig& cfg,
+                       const harness::CorunMatrix& truth,
+                       const std::vector<JobSpec>& trace,
+                       PlacementPolicy& policy);
+
+}  // namespace coperf::cluster

@@ -1,0 +1,107 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "harness/scheduler.hpp"
+#include "predict/predicted_matrix.hpp"
+
+namespace coperf::cluster {
+
+std::size_t RandomPolicy::place(const JobSpec& job,
+                                const std::vector<MachineView>& machines) {
+  (void)job;
+  std::vector<std::size_t> open;
+  for (std::size_t m = 0; m < machines.size(); ++m)
+    if (machines[m].free_slots > 0) open.push_back(m);
+  if (open.empty())
+    throw std::logic_error{"RandomPolicy::place: no machine has a free slot"};
+  return open[rng_.below(open.size())];
+}
+
+CostModelPolicy::CostModelPolicy(std::string name, harness::CorunMatrix estimate)
+    : estimate_(std::move(estimate)), name_(std::move(name)) {
+  if (estimate_.size() == 0)
+    throw std::invalid_argument{"CostModelPolicy: empty estimate matrix"};
+}
+
+double placement_delta(const harness::CorunMatrix& est, std::size_t job_type,
+                       double job_work, const MachineView& machine) {
+  std::vector<std::size_t> types;
+  types.reserve(machine.residents.size());
+  for (const ResidentView& r : machine.residents) types.push_back(r.type);
+  double delta =
+      (harness::corun_slowdown(est, job_type, types) - 1.0) * job_work;
+  for (const ResidentView& r : machine.residents)
+    delta += (est.at(r.type, job_type) - 1.0) * r.remaining;
+  return delta;
+}
+
+std::size_t CostModelPolicy::place(const JobSpec& job,
+                                   const std::vector<MachineView>& machines) {
+  if (job.type >= estimate_.size())
+    throw std::out_of_range{"CostModelPolicy::place: job type outside matrix"};
+  std::size_t best = machines.size();
+  double best_delta = std::numeric_limits<double>::infinity();
+  for (std::size_t m = 0; m < machines.size(); ++m) {
+    if (machines[m].free_slots == 0) continue;
+    const double delta =
+        placement_delta(estimate_, job.type, job.work, machines[m]);
+    if (delta < best_delta) {
+      best_delta = delta;
+      best = m;
+    }
+  }
+  if (best == machines.size())
+    throw std::logic_error{name_ + "::place: no machine has a free slot"};
+  last_delta_ = best_delta;
+  return best;
+}
+
+OnlineRefinedPolicy::OnlineRefinedPolicy(
+    std::string name, std::unique_ptr<predict::InterferenceModel> model,
+    std::vector<predict::WorkloadSignature> sigs)
+    : CostModelPolicy(std::move(name),
+                      predict::predicted_matrix(sigs, *model)),
+      model_(std::move(model)),
+      sigs_(std::move(sigs)),
+      observed_(sigs_.size(),
+                std::vector<double>(sigs_.size(),
+                                    std::numeric_limits<double>::quiet_NaN())) {
+}
+
+std::size_t OnlineRefinedPolicy::place(const JobSpec& job,
+                                       const std::vector<MachineView>& machines) {
+  refresh_unobserved();
+  return CostModelPolicy::place(job, machines);
+}
+
+void OnlineRefinedPolicy::observe_pair(std::size_t fg_type,
+                                       std::size_t bg_type, double slowdown) {
+  if (fg_type >= sigs_.size() || bg_type >= sigs_.size())
+    throw std::out_of_range{"OnlineRefinedPolicy: observed type outside matrix"};
+  double& seen = observed_[fg_type][bg_type];
+  if (seen == slowdown) return;  // an exact repeat teaches nothing
+  if (std::isnan(seen)) ++observed_count_;
+  seen = slowdown;
+  model_->observe({sigs_[fg_type], sigs_[bg_type], slowdown});
+  // Measured fallback: the observed cell becomes ground truth now; the
+  // remaining cells are re-predicted lazily at the next placement, so
+  // a burst of observations costs one refresh, not one per pair.
+  estimate_.normalized[fg_type][bg_type] = std::max(1.0, slowdown);
+  estimate_stale_ = true;
+}
+
+void OnlineRefinedPolicy::refresh_unobserved() {
+  if (!estimate_stale_) return;
+  for (std::size_t i = 0; i < sigs_.size(); ++i)
+    for (std::size_t j = 0; j < sigs_.size(); ++j)
+      if (std::isnan(observed_[i][j]))
+        estimate_.normalized[i][j] =
+            std::max(1.0, model_->predict(sigs_[i], sigs_[j]));
+  estimate_stale_ = false;
+}
+
+}  // namespace coperf::cluster

@@ -1,0 +1,143 @@
+// Placement policies (cluster subsystem).
+//
+// A PlacementPolicy answers one question per arrival: which machine
+// with a free slot should run this job? The cost-model policies answer
+// it from a slowdown matrix -- the measured truth (oracle), a
+// prediction frozen at admission time (static), or a prediction the
+// simulator refines after every placement by feeding truly observed
+// pairwise slowdowns back through InterferenceModel::observe()
+// (online-refined). Policies own all their randomness, so a fresh
+// policy with the same seed replays identically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/trace.hpp"
+#include "harness/matrix.hpp"
+#include "predict/model.hpp"
+#include "util/rng.hpp"
+
+namespace coperf::cluster {
+
+/// One running job as the policy sees it.
+struct ResidentView {
+  std::size_t type = 0;
+  double remaining = 0.0;  ///< solo-time units left to execute
+};
+
+/// A machine's state at decision time.
+struct MachineView {
+  std::size_t free_slots = 0;
+  std::vector<ResidentView> residents;
+};
+
+/// Estimated machine time that admitting `job_type` with `job_work`
+/// units of work adds to `machine`, priced by the slowdown matrix
+/// `est`: the job's own excess slowdown persists for its whole work,
+/// and the excess it inflicts on each resident persists for that
+/// resident's remaining work. The shared cost primitive: the
+/// cost-model policies minimize it over machines, and the simulator
+/// re-prices every decision with it at ground truth to compute
+/// per-decision placement regret.
+double placement_delta(const harness::CorunMatrix& est, std::size_t job_type,
+                       double job_work, const MachineView& machine);
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual std::string name() const = 0;
+
+  /// Chooses a machine index with free_slots > 0. At least one such
+  /// machine is guaranteed; choosing a full one is a policy bug the
+  /// simulator rejects.
+  virtual std::size_t place(const JobSpec& job,
+                            const std::vector<MachineView>& machines) = 0;
+
+  /// Ground-truth feedback after a placement: the normalized runtime of
+  /// fg_type when bg_type shares its machine. Default: ignore.
+  virtual void observe_pair(std::size_t fg_type, std::size_t bg_type,
+                            double slowdown) {
+    (void)fg_type, (void)bg_type, (void)slowdown;
+  }
+
+  /// Estimated cost delta of the last place() decision (log annotation).
+  virtual double last_cost_delta() const { return 0.0; }
+};
+
+/// Uniform random over machines with a free slot -- the no-information
+/// baseline.
+class RandomPolicy final : public PlacementPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 1) : rng_(seed) {}
+  std::string name() const override { return "random"; }
+  std::size_t place(const JobSpec& job,
+                    const std::vector<MachineView>& machines) override;
+
+ private:
+  util::SplitMix64 rng_;
+};
+
+/// Greedy marginal-cost placement on a slowdown-matrix estimate: pick
+/// the machine where admitting the job adds the least *machine time*
+/// -- each pairwise excess slowdown weighted by how long it will
+/// persist (the new job's work, resp. the victim resident's remaining
+/// work). Lowest index wins ties, for determinism. With the truth
+/// matrix as the estimate this is the oracle; with a predicted matrix
+/// it is the static-analytic scheduler.
+class CostModelPolicy : public PlacementPolicy {
+ public:
+  CostModelPolicy(std::string name, harness::CorunMatrix estimate);
+
+  std::string name() const override { return name_; }
+  std::size_t place(const JobSpec& job,
+                    const std::vector<MachineView>& machines) override;
+  double last_cost_delta() const override { return last_delta_; }
+
+  const harness::CorunMatrix& estimate() const { return estimate_; }
+
+ protected:
+  harness::CorunMatrix estimate_;
+
+ private:
+  std::string name_;
+  double last_delta_ = 0.0;
+};
+
+/// CostModelPolicy that closes the loop: every *new* observed pairwise
+/// slowdown is fed to the model (kNN exemplar append / least-squares
+/// RLS; repeats of an already-seen identical observation are dropped,
+/// keeping the exemplar set bounded by the matrix size), observed
+/// cells override predictions outright (measured fallback), and
+/// still-unobserved cells are lazily re-predicted from the refined
+/// model at the next placement. The model must already be able to
+/// predict (trained, or analytic) because the initial estimate is
+/// derived from it.
+class OnlineRefinedPolicy final : public CostModelPolicy {
+ public:
+  OnlineRefinedPolicy(std::string name,
+                      std::unique_ptr<predict::InterferenceModel> model,
+                      std::vector<predict::WorkloadSignature> sigs);
+
+  std::size_t place(const JobSpec& job,
+                    const std::vector<MachineView>& machines) override;
+  void observe_pair(std::size_t fg_type, std::size_t bg_type,
+                    double slowdown) override;
+
+  predict::InterferenceModel& model() { return *model_; }
+  std::size_t observed_cells() const { return observed_count_; }
+
+ private:
+  void refresh_unobserved();
+
+  std::unique_ptr<predict::InterferenceModel> model_;
+  std::vector<predict::WorkloadSignature> sigs_;
+  /// Last observed slowdown per cell; NaN = never observed.
+  std::vector<std::vector<double>> observed_;
+  std::size_t observed_count_ = 0;
+  bool estimate_stale_ = false;
+};
+
+}  // namespace coperf::cluster

@@ -1,0 +1,77 @@
+#include "cluster/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace coperf::cluster {
+
+std::vector<JobSpec> synthetic_trace(std::size_t n_types,
+                                     const TraceOptions& opt) {
+  if (n_types == 0)
+    throw std::invalid_argument{"synthetic_trace: no workload types"};
+  if (opt.mean_interarrival <= 0.0 || opt.mean_work <= 0.0)
+    throw std::invalid_argument{
+        "synthetic_trace: interarrival/work means must be positive"};
+  util::SplitMix64 rng{opt.seed};
+  std::vector<JobSpec> trace;
+  trace.reserve(opt.jobs);
+  double t = 0.0;
+  for (std::size_t i = 0; i < opt.jobs; ++i) {
+    // Inverse-CDF exponential; uniform() < 1 so the log argument is > 0.
+    t += -opt.mean_interarrival * std::log(1.0 - rng.uniform());
+    JobSpec j;
+    j.id = i;
+    j.type = static_cast<std::size_t>(rng.below(n_types));
+    j.arrival = t;
+    j.work = opt.mean_work * (0.5 + rng.uniform());
+    trace.push_back(j);
+  }
+  return trace;
+}
+
+namespace {
+
+/// %.6f via snprintf: locale-independent, so log text is stable.
+std::string fmt6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+void TraceLog::write(std::ostream& os,
+                     const std::vector<std::string>& workloads) const {
+  for (const TraceEvent& e : events) {
+    const std::string name =
+        e.type < workloads.size() ? workloads[e.type] : "?";
+    os << "t=" << fmt6(e.time);
+    switch (e.kind) {
+      case TraceEvent::Kind::Arrive:
+        os << " arrive job=" << e.job << " type=" << name;
+        break;
+      case TraceEvent::Kind::Place:
+        os << " place job=" << e.job << " type=" << name
+           << " machine=" << e.machine << " cost+=" << fmt6(e.value);
+        break;
+      case TraceEvent::Kind::Finish:
+        os << " finish job=" << e.job << " type=" << name
+           << " machine=" << e.machine << " slowdown=" << fmt6(e.value);
+        break;
+    }
+    os << '\n';
+  }
+}
+
+std::string TraceLog::str(const std::vector<std::string>& workloads) const {
+  std::ostringstream ss;
+  write(ss, workloads);
+  return ss.str();
+}
+
+}  // namespace coperf::cluster

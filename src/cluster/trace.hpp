@@ -1,0 +1,66 @@
+// Arrival traces and the placement audit log (cluster subsystem).
+//
+// A trace is the online scheduler's input: a stream of jobs, each an
+// instance of one of the co-run matrix's workload types, with an
+// arrival time and a solo-work demand. synthetic_trace() draws one
+// deterministically from a seed (exponential interarrivals, uniform
+// work, uniform types), so every experiment is reproducible
+// bit-for-bit. TraceLog is the simulator's output side: every arrival,
+// placement, and completion, rendered to text with fixed precision so
+// the same seed yields byte-identical logs (the determinism property
+// tests/cluster_test.cpp locks).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace coperf::cluster {
+
+/// One job in the arrival stream.
+struct JobSpec {
+  std::size_t id = 0;    ///< dense, trace order
+  std::size_t type = 0;  ///< index into the co-run matrix's workload axis
+  double arrival = 0.0;  ///< simulated seconds, non-decreasing
+  double work = 1.0;     ///< solo execution time this job needs
+
+  bool operator==(const JobSpec&) const = default;
+};
+
+struct TraceOptions {
+  std::size_t jobs = 1000;
+  std::uint64_t seed = 1;
+  double mean_interarrival = 1.0;  ///< exponential interarrival mean
+  double mean_work = 8.0;          ///< work uniform in [0.5, 1.5] x mean
+};
+
+/// Deterministic synthetic arrival stream over `n_types` workload
+/// types. Same (n_types, options) => identical trace.
+std::vector<JobSpec> synthetic_trace(std::size_t n_types,
+                                     const TraceOptions& opt);
+
+/// One line of the simulator's audit log.
+struct TraceEvent {
+  enum class Kind { Arrive, Place, Finish };
+  Kind kind = Kind::Arrive;
+  double time = 0.0;
+  std::size_t job = 0;
+  std::size_t type = 0;
+  std::size_t machine = 0;  ///< Place/Finish only
+  /// Place: the policy's predicted cost delta for the chosen machine;
+  /// Finish: the slowdown the job actually experienced.
+  double value = 0.0;
+};
+
+struct TraceLog {
+  std::vector<TraceEvent> events;
+
+  /// Fixed-precision text rendering; workload names label the types.
+  void write(std::ostream& os,
+             const std::vector<std::string>& workloads) const;
+  std::string str(const std::vector<std::string>& workloads) const;
+};
+
+}  // namespace coperf::cluster

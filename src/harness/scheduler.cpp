@@ -6,7 +6,27 @@
 
 namespace coperf::harness {
 
+double corun_slowdown(const CorunMatrix& m, std::size_t job,
+                      const std::vector<std::size_t>& others) {
+  double excess = 0.0;
+  for (std::size_t o : others) excess += m.at(job, o) - 1.0;
+  return std::max(1.0, 1.0 + excess);
+}
+
+double group_cost(const CorunMatrix& m, const std::vector<std::size_t>& group) {
+  double cost = 0.0;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    double excess = 0.0;
+    for (std::size_t j = 0; j < group.size(); ++j)
+      if (j != i) excess += m.at(group[i], group[j]) - 1.0;
+    cost += std::max(1.0, 1.0 + excess);
+  }
+  return cost;
+}
+
 double pair_cost(const CorunMatrix& m, std::size_t a, std::size_t b) {
+  // == group_cost(m, {a, b}); matrix entries are >= 1 so the clamp in
+  // the group form never fires for a pair.
   return m.at(a, b) + m.at(b, a);
 }
 
@@ -97,17 +117,21 @@ Schedule schedule_greedy(const CorunMatrix& m,
 
 namespace {
 
-void optimal_rec(const CorunMatrix& m, std::vector<std::size_t>& remaining,
-                 std::vector<Pairing>& current, double cost_so_far,
-                 double& best_cost, std::vector<Pairing>& best) {
+/// Exhaustive matching enumeration shared by the exact min (optimal)
+/// and max (adversarial) matchers; `maximize` flips the objective.
+void match_rec(const CorunMatrix& m, bool maximize,
+               std::vector<std::size_t>& remaining,
+               std::vector<Pairing>& current, double cost_so_far,
+               double& best_cost, std::vector<Pairing>& best) {
   if (remaining.empty()) {
-    if (cost_so_far < best_cost) {
+    if (maximize ? cost_so_far > best_cost : cost_so_far < best_cost) {
       best_cost = cost_so_far;
       best = current;
     }
     return;
   }
-  if (cost_so_far >= best_cost) return;  // branch and bound
+  // Branch and bound only when minimizing: costs only grow.
+  if (!maximize && cost_so_far >= best_cost) return;
   const std::size_t a = remaining.back();
   remaining.pop_back();
   for (std::size_t i = 0; i < remaining.size(); ++i) {
@@ -115,7 +139,8 @@ void optimal_rec(const CorunMatrix& m, std::vector<std::size_t>& remaining,
     remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(i));
     const double c = pair_cost(m, a, b);
     current.push_back({a, b, c});
-    optimal_rec(m, remaining, current, cost_so_far + c, best_cost, best);
+    match_rec(m, maximize, remaining, current, cost_so_far + c, best_cost,
+              best);
     current.pop_back();
     remaining.insert(remaining.begin() + static_cast<std::ptrdiff_t>(i), b);
   }
@@ -133,7 +158,7 @@ Schedule schedule_optimal(const CorunMatrix& m,
   std::vector<std::size_t> remaining = jobs;
   std::vector<Pairing> current, best;
   double best_cost = std::numeric_limits<double>::infinity();
-  optimal_rec(m, remaining, current, 0.0, best_cost, best);
+  match_rec(m, /*maximize=*/false, remaining, current, 0.0, best_cost, best);
   Schedule s;
   s.pairs = std::move(best);
   finalize(m, s);
@@ -143,7 +168,21 @@ Schedule schedule_optimal(const CorunMatrix& m,
 Schedule schedule_worst(const CorunMatrix& m,
                         const std::vector<std::size_t>& jobs) {
   check_jobs(jobs, m);
-  // Greedy max-cost matching as the adversarial baseline.
+  // Exhaustive max-cost matching where affordable (<= 12 jobs is 10395
+  // matchings): the adversarial baseline must actually upper-bound any
+  // matching, greedy included -- greedy max-cost matching does not
+  // (tests/scheduler_property_test.cpp caught it losing to greedy).
+  if (jobs.size() <= 12) {
+    std::vector<std::size_t> remaining = jobs;
+    std::vector<Pairing> current, best;
+    double best_cost = -1.0;
+    match_rec(m, /*maximize=*/true, remaining, current, 0.0, best_cost, best);
+    Schedule s;
+    s.pairs = std::move(best);
+    finalize(m, s);
+    return s;
+  }
+  // Greedy max-cost matching as the adversarial heuristic beyond that.
   struct Cand {
     double cost;
     std::size_t a, b;

@@ -30,8 +30,23 @@ struct Schedule {
   PairClass worst_class = PairClass::Harmony;
 };
 
+/// Slowdown of `job` co-resident with `others` on one machine: pairwise
+/// excess slowdowns compose additively (each co-runner independently
+/// steals its share of the channel/LLC), clamped to >= 1.0. With a
+/// single co-runner this is exactly the matrix entry.
+double corun_slowdown(const CorunMatrix& m, std::size_t job,
+                      const std::vector<std::size_t>& others);
+
+/// Cost of one machine's resident group: the sum of every member's
+/// corun_slowdown against the rest (|group| == perfectly harmonious).
+/// This is the billing primitive shared by the pairwise matcher below
+/// and the cluster-scale scheduler (src/cluster/).
+double group_cost(const CorunMatrix& m, const std::vector<std::size_t>& group);
+
 /// Pair cost = normalized runtime of a with b in the background plus
-/// vice versa (2.0 == perfectly harmonious).
+/// vice versa (2.0 == perfectly harmonious) -- group_cost of the
+/// two-slot group {a, b}, kept direct because the matchers call it in
+/// O(n^2) loops.
 double pair_cost(const CorunMatrix& m, std::size_t a, std::size_t b);
 
 /// Re-prices an existing pairing at this matrix's rates and rebuilds
@@ -51,7 +66,9 @@ Schedule schedule_greedy(const CorunMatrix& m,
 Schedule schedule_optimal(const CorunMatrix& m,
                           const std::vector<std::size_t>& jobs);
 
-/// Adversarial baseline: maximize cost (what a bad scheduler could do).
+/// Adversarial baseline: maximize cost (what a bad scheduler could
+/// do). Exact for <= 12 jobs -- a true upper bound on any matching --
+/// greedy max-cost heuristic beyond.
 Schedule schedule_worst(const CorunMatrix& m,
                         const std::vector<std::size_t>& jobs);
 

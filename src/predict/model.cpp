@@ -160,6 +160,18 @@ double KnnModel::predict(const WorkloadSignature& fg,
   return vsum / wsum;
 }
 
+void KnnModel::observe(const TrainingPair& sample) {
+  const std::size_t dim = pair_feature_count();
+  if (mean_.size() != dim) {  // never trained: identity normalization
+    mean_.assign(dim, 0.0);
+    scale_.assign(dim, 1.0);
+  }
+  std::vector<double> row = pair_features(sample.fg, sample.bg);
+  for (std::size_t f = 0; f < dim; ++f) row[f] = (row[f] - mean_[f]) / scale_[f];
+  rows_.push_back(std::move(row));
+  targets_.push_back(sample.slowdown);
+}
+
 void KnnModel::save(std::ostream& os) const {
   os.precision(17);
   os << "coperf-model knn v1\n"
@@ -198,40 +210,97 @@ void KnnModel::load(std::istream& is) {
 // LeastSquaresModel
 // ---------------------------------------------------------------------
 
+namespace {
+
+/// Gauss-Jordan inverse with partial pivoting; dim is ~12 so an exact
+/// dense inverse is cheap. Throws on a singular matrix.
+std::vector<std::vector<double>> invert(std::vector<std::vector<double>> a) {
+  const std::size_t dim = a.size();
+  std::vector<std::vector<double>> inv(dim, std::vector<double>(dim, 0.0));
+  for (std::size_t i = 0; i < dim; ++i) inv[i][i] = 1.0;
+  for (std::size_t col = 0; col < dim; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < dim; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    std::swap(a[col], a[pivot]);
+    std::swap(inv[col], inv[pivot]);
+    if (std::abs(a[col][col]) < 1e-12)
+      throw std::runtime_error{"lstsq: singular normal equations"};
+    const double d = a[col][col];
+    for (std::size_t c = 0; c < dim; ++c) {
+      a[col][c] /= d;
+      inv[col][c] /= d;
+    }
+    for (std::size_t r = 0; r < dim; ++r) {
+      if (r == col) continue;
+      const double factor = a[r][col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < dim; ++c) {
+        a[r][c] -= factor * a[col][c];
+        inv[r][c] -= factor * inv[col][c];
+      }
+    }
+  }
+  return inv;
+}
+
+std::vector<double> biased_features(const WorkloadSignature& fg,
+                                    const WorkloadSignature& bg) {
+  std::vector<double> x = pair_features(fg, bg);
+  x.insert(x.begin(), 1.0);
+  return x;
+}
+
+}  // namespace
+
 void LeastSquaresModel::train(const std::vector<TrainingPair>& pairs) {
   if (pairs.empty()) throw std::invalid_argument{"lstsq: empty training set"};
   const std::size_t dim = pair_feature_count() + 1;  // bias column
-  // Normal equations (X^T X + ridge I) w = X^T y, solved by Gaussian
-  // elimination with partial pivoting -- dim is ~11, so exact solve is
-  // cheaper than iterating.
+  // Normal equations (X^T X + ridge I) w = X^T y. The regularized
+  // normal matrix is inverted outright (dim is ~12): its inverse is
+  // both the solve and the RLS covariance that observe() refines.
   std::vector<std::vector<double>> a(dim, std::vector<double>(dim, 0.0));
   std::vector<double> b(dim, 0.0);
   for (const auto& p : pairs) {
-    std::vector<double> x = pair_features(p.fg, p.bg);
-    x.insert(x.begin(), 1.0);
+    const std::vector<double> x = biased_features(p.fg, p.bg);
     for (std::size_t i = 0; i < dim; ++i) {
       for (std::size_t j = 0; j < dim; ++j) a[i][j] += x[i] * x[j];
       b[i] += x[i] * p.slowdown;
     }
   }
   for (std::size_t i = 1; i < dim; ++i) a[i][i] += ridge_;  // don't shrink bias
-  for (std::size_t col = 0; col < dim; ++col) {
-    std::size_t pivot = col;
-    for (std::size_t r = col + 1; r < dim; ++r)
-      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
-    std::swap(a[col], a[pivot]);
-    std::swap(b[col], b[pivot]);
-    if (std::abs(a[col][col]) < 1e-12)
-      throw std::runtime_error{"lstsq: singular normal equations"};
-    for (std::size_t r = 0; r < dim; ++r) {
-      if (r == col) continue;
-      const double factor = a[r][col] / a[col][col];
-      for (std::size_t c = col; c < dim; ++c) a[r][c] -= factor * a[col][c];
-      b[r] -= factor * b[col];
-    }
-  }
+  cov_ = invert(std::move(a));
   weights_.assign(dim, 0.0);
-  for (std::size_t i = 0; i < dim; ++i) weights_[i] = b[i] / a[i][i];
+  for (std::size_t i = 0; i < dim; ++i)
+    for (std::size_t j = 0; j < dim; ++j) weights_[i] += cov_[i][j] * b[j];
+}
+
+void LeastSquaresModel::ensure_rls_state() {
+  const std::size_t dim = pair_feature_count() + 1;
+  if (weights_.size() != dim) weights_.assign(dim, 0.0);
+  if (cov_.size() != dim) {
+    // Diffuse prior: P = I/ridge -- a never-trained (or v1-loaded) model
+    // starts RLS as if ridge-regularized with no data.
+    const double lambda = ridge_ > 1e-9 ? ridge_ : 1e-9;
+    cov_.assign(dim, std::vector<double>(dim, 0.0));
+    for (std::size_t i = 0; i < dim; ++i) cov_[i][i] = 1.0 / lambda;
+  }
+}
+
+void LeastSquaresModel::observe(const TrainingPair& sample) {
+  ensure_rls_state();
+  const std::size_t dim = weights_.size();
+  const std::vector<double> x = biased_features(sample.fg, sample.bg);
+  std::vector<double> px(dim, 0.0);  // P x
+  for (std::size_t i = 0; i < dim; ++i)
+    for (std::size_t j = 0; j < dim; ++j) px[i] += cov_[i][j] * x[j];
+  double denom = 1.0;
+  for (std::size_t i = 0; i < dim; ++i) denom += x[i] * px[i];
+  double err = sample.slowdown;
+  for (std::size_t i = 0; i < dim; ++i) err -= weights_[i] * x[i];
+  for (std::size_t i = 0; i < dim; ++i) weights_[i] += px[i] / denom * err;
+  for (std::size_t i = 0; i < dim; ++i)
+    for (std::size_t j = 0; j < dim; ++j) cov_[i][j] -= px[i] * px[j] / denom;
 }
 
 double LeastSquaresModel::predict(const WorkloadSignature& fg,
@@ -246,20 +315,45 @@ double LeastSquaresModel::predict(const WorkloadSignature& fg,
 
 void LeastSquaresModel::save(std::ostream& os) const {
   os.precision(17);
-  os << "coperf-model lstsq v1\n" << ridge_ << ' ' << weights_.size() << '\n';
+  // v2 carries the RLS covariance so online refinement resumes exactly
+  // where it stopped; has_cov = 0 for a model that never trained.
+  os << "coperf-model lstsq v2\n"
+     << ridge_ << ' ' << weights_.size() << ' ' << (cov_.empty() ? 0 : 1)
+     << '\n';
   for (double w : weights_) os << w << ' ';
   os << '\n';
+  for (const auto& row : cov_) {
+    for (double p : row) os << p << ' ';
+    os << '\n';
+  }
 }
 
 void LeastSquaresModel::load(std::istream& is) {
-  expect_tag(is, "coperf-model lstsq v1");
+  std::string tag;
+  std::getline(is, tag);
+  int version = 0;
+  if (tag == "coperf-model lstsq v1") version = 1;
+  else if (tag == "coperf-model lstsq v2") version = 2;
+  else
+    throw std::runtime_error{
+        "model load: expected 'coperf-model lstsq v1|v2', got '" + tag + "'"};
   std::size_t dim = 0;
+  int has_cov = 0;
   is >> ridge_ >> dim;
+  if (version == 2) is >> has_cov;
   if (!is || dim != pair_feature_count() + 1)
     throw std::runtime_error{
         "lstsq model: weight dimension does not match this build"};
   weights_.assign(dim, 0.0);
   for (double& w : weights_) is >> w;
+  cov_.clear();
+  if (has_cov) {
+    // v1 files carry no covariance; observe() falls back to the diffuse
+    // prior via ensure_rls_state().
+    cov_.assign(dim, std::vector<double>(dim, 0.0));
+    for (auto& row : cov_)
+      for (double& p : row) is >> p;
+  }
   if (!is) throw std::runtime_error{"lstsq model: malformed body"};
 }
 

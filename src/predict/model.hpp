@@ -38,6 +38,12 @@ class InterferenceModel {
   /// Predicted normalized runtime of fg co-run against bg (>= 1.0).
   virtual double predict(const WorkloadSignature& fg,
                          const WorkloadSignature& bg) const = 0;
+  /// Online-refinement hook: folds one truly observed co-run into the
+  /// model, so a scheduler can sharpen its predictions from every
+  /// placement it actually makes. Incremental for kNN (append the
+  /// exemplar), recursive least squares for the linear model. The
+  /// analytic model has no trainable state and ignores it.
+  virtual void observe(const TrainingPair& /*sample*/) {}
   virtual void save(std::ostream& os) const = 0;
   virtual void load(std::istream& is) = 0;
 };
@@ -100,6 +106,11 @@ class KnnModel final : public TrainableModel {
   void train(const std::vector<TrainingPair>& pairs) override;
   double predict(const WorkloadSignature& fg,
                  const WorkloadSignature& bg) const override;
+  /// Appends the observation as one more exemplar. Feature
+  /// normalization stays frozen at the train()-time statistics so
+  /// existing neighbours keep their distances; on a never-trained model
+  /// the identity normalization is used.
+  void observe(const TrainingPair& sample) override;
   void save(std::ostream& os) const override;
   void load(std::istream& is) override;
 
@@ -123,14 +134,23 @@ class LeastSquaresModel final : public TrainableModel {
   void train(const std::vector<TrainingPair>& pairs) override;
   double predict(const WorkloadSignature& fg,
                  const WorkloadSignature& bg) const override;
+  /// Recursive-least-squares update: one rank-1 refresh of the weights
+  /// and the inverse normal matrix per observation, O(dim^2). Works on
+  /// a never-trained model too (zero weights, diffuse prior 1/ridge).
+  void observe(const TrainingPair& sample) override;
   void save(std::ostream& os) const override;
   void load(std::istream& is) override;
 
   const std::vector<double>& weights() const { return weights_; }
 
  private:
+  void ensure_rls_state();
+
   double ridge_ = 1e-3;
   std::vector<double> weights_;  ///< one per pair feature, plus bias at [0]
+  /// RLS state: P = (X^T X + ridge I)^{-1}. Seeded by train(), carried
+  /// through save/load (format v2) so online refinement can resume.
+  std::vector<std::vector<double>> cov_;
 };
 
 /// Factory by model name ("bandwidth", "knn", "lstsq").

@@ -1,0 +1,304 @@
+// Cluster-scheduler tests: trace/simulator determinism (same seed =>
+// byte-identical audit log), queueing semantics, interference-aware
+// placement, online refinement converging on the truth, and the
+// end-to-end regret ordering on the 8-workload Tiny ground truth.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "cluster/cluster.hpp"
+#include "harness/matrix.hpp"
+#include "predict/predicted_matrix.hpp"
+
+namespace coperf::cluster {
+namespace {
+
+/// Hand-built 4-type truth: a bandwidth hog, a victim that suffers
+/// badly next to it, and two near-neutral types.
+harness::CorunMatrix synthetic_truth() {
+  harness::CorunMatrix m;
+  m.workloads = {"hog", "victim", "neutral", "medium"};
+  m.solo_cycles = {1'000'000, 1'000'000, 1'000'000, 1'000'000};
+  m.normalized = {
+      {1.60, 1.10, 1.05, 1.20},   // hog | {hog victim neutral medium}
+      {2.20, 1.05, 1.02, 1.40},   // victim
+      {1.05, 1.01, 1.00, 1.02},   // neutral
+      {1.50, 1.10, 1.03, 1.25},   // medium
+  };
+  return m;
+}
+
+/// Synthetic signatures matching synthetic_truth's axis, good enough
+/// for the trainable models to fit against.
+std::vector<predict::WorkloadSignature> synthetic_sigs() {
+  const auto make = [](const std::string& name, double bw, double pcp,
+                       double llc_mpki) {
+    predict::WorkloadSignature s;
+    s.workload = name;
+    s.threads = 4;
+    s.bw_fraction = bw;
+    s.solo_bw_gbs = bw * 28.0;
+    s.l2_pcp = pcp;
+    s.mem_stall_frac = pcp * 0.9;
+    s.llc_mpki = llc_mpki;
+    s.l2_mpki = llc_mpki * 1.5;
+    s.cpi = 1.0 + pcp;
+    s.ipc = 1.0 / s.cpi;
+    s.ll = 100.0;
+    s.footprint_vs_llc = bw * 2.0;
+    s.prefetch_share = 0.5;
+    s.solo_cycles = 1'000'000;
+    s.solo_seconds = 3.7e-4;
+    return s;
+  };
+  return {make("hog", 0.9, 0.5, 30.0), make("victim", 0.3, 0.8, 5.0),
+          make("neutral", 0.05, 0.05, 0.1), make("medium", 0.5, 0.4, 10.0)};
+}
+
+std::unique_ptr<predict::LeastSquaresModel> distilled_model(
+    const harness::CorunMatrix& from,
+    const std::vector<predict::WorkloadSignature>& sigs) {
+  auto model = std::make_unique<predict::LeastSquaresModel>();
+  model->train(predict::training_pairs(from, sigs));
+  return model;
+}
+
+TEST(Trace, SyntheticTraceIsDeterministic) {
+  TraceOptions opt;
+  opt.jobs = 200;
+  opt.seed = 5;
+  const auto a = synthetic_trace(4, opt);
+  const auto b = synthetic_trace(4, opt);
+  EXPECT_EQ(a, b);
+  opt.seed = 6;
+  EXPECT_NE(a, synthetic_trace(4, opt));
+  ASSERT_EQ(a.size(), 200u);
+  for (std::size_t i = 1; i < a.size(); ++i)
+    EXPECT_GE(a[i].arrival, a[i - 1].arrival) << "arrivals must be sorted";
+  for (const JobSpec& j : a) {
+    EXPECT_LT(j.type, 4u);
+    EXPECT_GT(j.work, 0.0);
+  }
+}
+
+TEST(Trace, RejectsDegenerateOptions) {
+  EXPECT_THROW(synthetic_trace(0, {}), std::invalid_argument);
+  TraceOptions bad;
+  bad.mean_interarrival = 0.0;
+  EXPECT_THROW(synthetic_trace(2, bad), std::invalid_argument);
+}
+
+// The acceptance criterion: a 1000-job arrival trace simulates
+// deterministically -- same seed => byte-identical trace output --
+// under every policy family, including the stateful online one.
+TEST(Cluster, ThousandJobTraceIsByteIdenticalAcrossRuns) {
+  const auto truth = synthetic_truth();
+  const auto sigs = synthetic_sigs();
+  TraceOptions topt;
+  topt.jobs = 1000;
+  topt.seed = 3;
+  topt.mean_interarrival = 1.2;
+  const auto trace = synthetic_trace(truth.size(), topt);
+  ClusterConfig cfg;
+  cfg.machines = 3;
+  cfg.slots = 2;
+
+  const auto run_with = [&](int which) {
+    switch (which) {
+      case 0: {
+        RandomPolicy p{99};
+        return simulate(cfg, truth, trace, p).log.str(truth.workloads);
+      }
+      case 1: {
+        CostModelPolicy p{"oracle", truth};
+        return simulate(cfg, truth, trace, p).log.str(truth.workloads);
+      }
+      default: {
+        OnlineRefinedPolicy p{"online", distilled_model(truth, sigs), sigs};
+        return simulate(cfg, truth, trace, p).log.str(truth.workloads);
+      }
+    }
+  };
+  for (int which = 0; which < 3; ++which) {
+    const std::string first = run_with(which);
+    const std::string second = run_with(which);
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second) << "policy family " << which
+                             << " is not replay-deterministic";
+  }
+}
+
+TEST(Cluster, EveryJobArrivesPlacesAndFinishesOnce) {
+  const auto truth = synthetic_truth();
+  TraceOptions topt;
+  topt.jobs = 300;
+  topt.seed = 8;
+  const auto trace = synthetic_trace(truth.size(), topt);
+  RandomPolicy policy{1};
+  const auto res = simulate({2, 3}, truth, trace, policy);
+  std::size_t arrives = 0, places = 0, finishes = 0;
+  for (const TraceEvent& e : res.log.events) {
+    if (e.kind == TraceEvent::Kind::Arrive) ++arrives;
+    if (e.kind == TraceEvent::Kind::Place) ++places;
+    if (e.kind == TraceEvent::Kind::Finish) ++finishes;
+  }
+  EXPECT_EQ(arrives, trace.size());
+  EXPECT_EQ(places, trace.size());
+  EXPECT_EQ(finishes, trace.size());
+  ASSERT_EQ(res.outcomes.size(), trace.size());
+  for (const JobOutcome& o : res.outcomes) {
+    EXPECT_GE(o.start, o.arrival);
+    EXPECT_GT(o.finish, o.start);
+    EXPECT_GE(o.stretch(), 1.0 - 1e-9);
+    EXPECT_GE(o.corun_slowdown(), 1.0 - 1e-9);
+    EXPECT_LT(o.machine, 2u);
+  }
+  EXPECT_GE(res.mean_stretch, 1.0 - 1e-9);
+  EXPECT_GT(res.makespan, 0.0);
+}
+
+TEST(Cluster, JobsQueueWhenTheClusterIsFull) {
+  // One 2-slot machine, three simultaneous harmonious unit jobs: the
+  // third must wait for a slot and start exactly when the first
+  // completes at t = 1.
+  harness::CorunMatrix truth;
+  truth.workloads = {"idle"};
+  truth.solo_cycles = {1};
+  truth.normalized = {{1.0}};
+  std::vector<JobSpec> trace = {{0, 0, 0.0, 1.0}, {1, 0, 0.0, 1.0},
+                                {2, 0, 0.0, 1.0}};
+  CostModelPolicy policy{"oracle", truth};
+  const auto res = simulate({1, 2}, truth, trace, policy);
+  EXPECT_DOUBLE_EQ(res.outcomes[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(res.outcomes[1].start, 0.0);
+  EXPECT_DOUBLE_EQ(res.outcomes[2].start, 1.0);
+  EXPECT_DOUBLE_EQ(res.outcomes[2].finish, 2.0);
+  EXPECT_DOUBLE_EQ(res.outcomes[2].stretch(), 2.0);
+}
+
+TEST(Cluster, OracleKeepsTheVictimOffTheHogsMachine) {
+  const auto truth = synthetic_truth();
+  // hog arrives first, then the victim, with an empty second machine
+  // available: the truth-driven policy must not co-locate them.
+  std::vector<JobSpec> trace = {{0, 0, 0.0, 10.0}, {1, 1, 0.1, 10.0}};
+  CostModelPolicy oracle{"oracle", truth};
+  const auto res = simulate({2, 2}, truth, trace, oracle);
+  EXPECT_NE(res.outcomes[0].machine, res.outcomes[1].machine)
+      << "oracle paired the victim (2.2x) with the hog despite a free machine";
+}
+
+TEST(Cluster, SimulateValidatesItsInput) {
+  const auto truth = synthetic_truth();
+  RandomPolicy policy{1};
+  const std::vector<JobSpec> ok = {{0, 0, 0.0, 1.0}};
+  EXPECT_THROW(simulate({0, 2}, truth, ok, policy), std::invalid_argument);
+  EXPECT_THROW(simulate({2, 1}, truth, ok, policy), std::invalid_argument);
+  EXPECT_THROW(simulate({2, 2}, truth, {{0, 9, 0.0, 1.0}}, policy),
+               std::invalid_argument);
+  EXPECT_THROW(simulate({2, 2}, truth, {{0, 0, 0.0, 0.0}}, policy),
+               std::invalid_argument);
+  EXPECT_THROW(
+      simulate({2, 2}, truth, {{0, 0, 5.0, 1.0}, {1, 0, 1.0, 1.0}}, policy),
+      std::invalid_argument);
+}
+
+TEST(Placement, OnlineEstimateConvergesToObservedTruth) {
+  const auto truth = synthetic_truth();
+  const auto sigs = synthetic_sigs();
+  // Distill from a deliberately wrong prior (everything harmonious) so
+  // convergence is attributable to the observations alone.
+  harness::CorunMatrix flat = truth;
+  for (auto& row : flat.normalized)
+    for (double& cell : row) cell = 1.0;
+  OnlineRefinedPolicy online{"online", distilled_model(flat, sigs), sigs};
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    for (std::size_t j = 0; j < truth.size(); ++j)
+      online.observe_pair(i, j, truth.at(i, j));
+  EXPECT_EQ(online.observed_cells(), truth.size() * truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    for (std::size_t j = 0; j < truth.size(); ++j)
+      EXPECT_NEAR(online.estimate().at(i, j), truth.at(i, j), 1e-12)
+          << "observed cell (" << i << "," << j << ") not pinned to truth";
+}
+
+TEST(Placement, PoliciesRejectImpossibleRequests) {
+  const auto truth = synthetic_truth();
+  RandomPolicy random{1};
+  CostModelPolicy cost{"oracle", truth};
+  const JobSpec job{0, 0, 0.0, 1.0};
+  const std::vector<MachineView> full = {{0, {{1, 1.0}, {2, 1.0}}}};
+  EXPECT_THROW(random.place(job, full), std::logic_error);
+  EXPECT_THROW(cost.place(job, full), std::logic_error);
+  EXPECT_THROW((CostModelPolicy{"empty", harness::CorunMatrix{}}),
+               std::invalid_argument);
+  const JobSpec alien{0, 9, 0.0, 1.0};
+  const std::vector<MachineView> open = {{2, {}}};
+  EXPECT_THROW(cost.place(alien, open), std::out_of_range);
+  OnlineRefinedPolicy online{"online", distilled_model(truth, synthetic_sigs()),
+                             synthetic_sigs()};
+  EXPECT_THROW(online.observe_pair(9, 0, 1.5), std::out_of_range);
+}
+
+// The satellite criterion, on the real pipeline: solo signatures ->
+// analytic prediction -> distilled trainable model, then streaming
+// placement on the measured 8-workload Tiny ground truth. Online
+// refinement must do no worse than the frozen prediction.
+TEST(ClusterIntegration, OnlineRefinedBeatsStaticOnTinyGroundTruth) {
+  const std::vector<std::string> subset = {
+      "Stream", "Bandit", "G-PR", "CIFAR",
+      "fotonik3d", "swaptions", "IRSmk", "blackscholes"};
+  harness::MatrixOptions mo;
+  mo.run.machine = sim::MachineConfig::scaled();
+  mo.run.size = wl::SizeClass::Tiny;
+  mo.run.threads = 4;
+  mo.reps = 1;
+  mo.subset = subset;
+  const auto sigs = predict::collect_signatures(subset, mo.run, /*reps=*/1);
+  for (const auto& s : sigs) mo.solo_cycles.push_back(s.solo_cycles);
+  const harness::CorunMatrix truth = harness::corun_matrix(mo);
+
+  const predict::BandwidthContentionModel analytic;
+  const harness::CorunMatrix predicted =
+      predict::predicted_matrix(sigs, analytic);
+
+  ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.slots = 2;
+  TraceOptions topt;
+  topt.jobs = 600;
+  topt.mean_work = 8.0;
+  topt.mean_interarrival =
+      topt.mean_work / (0.8 * static_cast<double>(cfg.machines * cfg.slots));
+
+  // Placement regret billed per decision at ground truth: the oracle
+  // is 0 by construction, online refinement converges toward it as
+  // observations accumulate, the frozen prediction keeps paying for
+  // its mispredictions.
+  double static_total = 0.0, online_total = 0.0, oracle_total = 0.0,
+         random_total = 0.0;
+  for (std::uint64_t seed : {1, 2}) {
+    topt.seed = seed;
+    const auto trace = synthetic_trace(subset.size(), topt);
+    RandomPolicy random{seed};
+    CostModelPolicy statics{"static-analytic", predicted};
+    OnlineRefinedPolicy online{"online-lstsq",
+                               distilled_model(predicted, sigs), sigs};
+    CostModelPolicy oracle{"oracle", truth};
+    random_total += simulate(cfg, truth, trace, random).mean_decision_regret;
+    static_total += simulate(cfg, truth, trace, statics).mean_decision_regret;
+    online_total += simulate(cfg, truth, trace, online).mean_decision_regret;
+    oracle_total += simulate(cfg, truth, trace, oracle).mean_decision_regret;
+  }
+  EXPECT_NEAR(oracle_total, 0.0, 1e-12)
+      << "the truth-driven policy must have zero decision regret";
+  EXPECT_LE(online_total, static_total + 1e-9)
+      << "online refinement must not lose to the frozen prediction";
+  EXPECT_LE(online_total, random_total + 1e-9)
+      << "an informed policy must not lose to random placement";
+  EXPECT_GE(online_total, 0.0);
+  EXPECT_GE(static_total, 0.0);
+}
+
+}  // namespace
+}  // namespace coperf::cluster

@@ -202,6 +202,161 @@ TEST(Model, LeastSquaresRecoversLinearTarget) {
     EXPECT_NEAR(m.predict(p.fg, p.bg), p.slowdown, 1e-6);
 }
 
+TEST(Model, KnnObserveAppendsExemplar) {
+  const auto sigs = synthetic_suite();
+  // Train on every pair except (0, 1), all harmonious.
+  std::vector<TrainingPair> pairs;
+  for (std::size_t i = 0; i < sigs.size(); ++i)
+    for (std::size_t j = 0; j < sigs.size(); ++j)
+      if (!(i == 0 && j == 1)) pairs.push_back({sigs[i], sigs[j], 1.2});
+  KnnModel m{1};
+  m.train(pairs);
+  const std::size_t before = m.training_size();
+  EXPECT_NEAR(m.predict(sigs[0], sigs[1]), 1.2, 1e-9);
+  // Observing the true slowdown at the held-out point must pull k=1
+  // prediction there exactly: the new exemplar is its own (unique)
+  // nearest neighbour.
+  m.observe({sigs[0], sigs[1], 2.5});
+  EXPECT_EQ(m.training_size(), before + 1);
+  EXPECT_NEAR(m.predict(sigs[0], sigs[1]), 2.5, 1e-9);
+}
+
+TEST(Model, KnnObserveWorksOnColdModel) {
+  const auto sigs = synthetic_suite();
+  KnnModel m{3};
+  m.observe({sigs[0], sigs[1], 1.7});
+  EXPECT_EQ(m.training_size(), 1u);
+  EXPECT_NEAR(m.predict(sigs[0], sigs[1]), 1.7, 1e-9);
+}
+
+TEST(Model, RlsObserveMatchesBatchRetrain) {
+  // Recursive least squares is algebraically exact: training on N
+  // pairs and observing one more must equal training on all N+1 (same
+  // ridge prior). This is the property that makes online refinement
+  // trustworthy -- no drift relative to the batch solve.
+  const auto sigs = synthetic_suite();
+  const BandwidthContentionModel teacher;
+  std::vector<TrainingPair> pairs;
+  for (const auto& fg : sigs)
+    for (const auto& bg : sigs)
+      pairs.push_back({fg, bg, teacher.predict(fg, bg)});
+  const TrainingPair extra{sigs[2], sigs[4], 1.9};
+
+  LeastSquaresModel online;
+  online.train(pairs);
+  online.observe(extra);
+
+  std::vector<TrainingPair> all = pairs;
+  all.push_back(extra);
+  LeastSquaresModel batch;
+  batch.train(all);
+
+  ASSERT_EQ(online.weights().size(), batch.weights().size());
+  for (const auto& fg : sigs)
+    for (const auto& bg : sigs)
+      EXPECT_NEAR(online.predict(fg, bg), batch.predict(fg, bg), 1e-6)
+          << "RLS diverged from the batch solve";
+}
+
+TEST(Model, RlsObserveWorksOnColdModel) {
+  // A never-trained model starts from the diffuse ridge prior; a few
+  // repeats of the same observation must pull the prediction to it.
+  const auto sigs = synthetic_suite();
+  LeastSquaresModel m;
+  for (int i = 0; i < 50; ++i) m.observe({sigs[1], sigs[3], 1.8});
+  EXPECT_NEAR(m.predict(sigs[1], sigs[3]), 1.8, 0.05);
+}
+
+TEST(Model, OnlineUpdatedStateSurvivesSaveLoad) {
+  const auto sigs = synthetic_suite();
+  const BandwidthContentionModel teacher;
+  std::vector<TrainingPair> pairs;
+  for (const auto& fg : sigs)
+    for (const auto& bg : sigs)
+      pairs.push_back({fg, bg, teacher.predict(fg, bg)});
+
+  KnnModel knn{3};
+  knn.train(pairs);
+  LeastSquaresModel lstsq;
+  lstsq.train(pairs);
+  for (InterferenceModel* m : {static_cast<InterferenceModel*>(&knn),
+                               static_cast<InterferenceModel*>(&lstsq)}) {
+    m->observe({sigs[0], sigs[5], 2.2});
+    std::stringstream ss;
+    m->save(ss);
+    const auto loaded = load_model(ss);
+    // Round trip preserves the refined predictions...
+    for (const auto& fg : sigs)
+      for (const auto& bg : sigs)
+        EXPECT_DOUBLE_EQ(loaded->predict(fg, bg), m->predict(fg, bg))
+            << m->name() << " changed after online-update save/load";
+    // ...and the update *state*: continuing to observe on the original
+    // and the reloaded copy must stay in lockstep (for lstsq this is
+    // the RLS covariance doing its job, not just the weights).
+    const TrainingPair next{sigs[1], sigs[2], 1.6};
+    m->observe(next);
+    loaded->observe(next);
+    EXPECT_DOUBLE_EQ(loaded->predict(sigs[1], sigs[2]),
+                     m->predict(sigs[1], sigs[2]))
+        << m->name() << " update state diverged after save/load";
+  }
+}
+
+TEST(Model, LstsqLoadsLegacyV1Files) {
+  // A v1 file carries weights only. It must load, predict exactly, and
+  // accept observe() afterwards (covariance restarts from the prior).
+  const std::size_t dim = pair_feature_count() + 1;
+  std::ostringstream file;
+  file << "coperf-model lstsq v1\n" << 0.001 << ' ' << dim << '\n';
+  file << 1.0 << ' ';
+  for (std::size_t i = 1; i < dim; ++i) file << 0.25 << ' ';
+  file << '\n';
+  std::istringstream in{file.str()};
+  LeastSquaresModel m;
+  m.load(in);
+  const auto sigs = synthetic_suite();
+  const auto x = pair_features(sigs[0], sigs[1]);
+  double want = 1.0;
+  for (double f : x) want += 0.25 * f;
+  EXPECT_NEAR(m.predict(sigs[0], sigs[1]), want, 1e-12);
+  m.observe({sigs[0], sigs[1], 1.4});  // must not throw
+}
+
+TEST(Model, LoadRejectsMalformedBodies) {
+  // Truncated kNN body: header promises 2 rows, file has 1.
+  {
+    KnnModel seed{2};
+    seed.observe({synthetic_suite()[0], synthetic_suite()[1], 1.5});
+    seed.observe({synthetic_suite()[2], synthetic_suite()[3], 1.2});
+    std::stringstream ss;
+    seed.save(ss);
+    std::string text = ss.str();
+    text.erase(text.rfind('\n', text.size() - 2) + 1);  // drop last row
+    std::istringstream in{text};
+    EXPECT_THROW(KnnModel{}.load(in), std::runtime_error);
+  }
+  // lstsq v2 that promises a covariance but does not deliver one.
+  {
+    const std::size_t dim = pair_feature_count() + 1;
+    std::ostringstream file;
+    file << "coperf-model lstsq v2\n" << 0.001 << ' ' << dim << " 1\n";
+    for (std::size_t i = 0; i < dim; ++i) file << 1.0 << ' ';
+    file << '\n';
+    std::istringstream in{file.str()};
+    EXPECT_THROW(LeastSquaresModel{}.load(in), std::runtime_error);
+  }
+  // Wrong family tag routed to the wrong loader.
+  {
+    std::istringstream in{"coperf-model knn v1\n3 11 1\n"};
+    EXPECT_THROW(LeastSquaresModel{}.load(in), std::runtime_error);
+  }
+  // Garbage where numbers should be.
+  {
+    std::istringstream in{"coperf-model bandwidth v1\nnot numbers at all\n"};
+    EXPECT_THROW(BandwidthContentionModel{}.load(in), std::runtime_error);
+  }
+}
+
 TEST(PredictedMatrix, ShapeAndNormalizationInvariants) {
   const auto sigs = synthetic_suite();
   const BandwidthContentionModel model;

@@ -1,0 +1,124 @@
+// Property tests for the pairwise matcher and the shared cost helpers:
+// on random matrices the heuristics must respect their analytic bounds
+// (worst >= greedy >= optimal >= perfect harmony), billing must not
+// depend on pair order, and the pairwise API must stay an exact
+// special case of the group-cost primitives the cluster scheduler uses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "harness/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace coperf::harness {
+namespace {
+
+/// Random slowdown matrix with entries in [1.0, 2.5) -- a co-runner
+/// never speeds the foreground up, like every matrix the harness and
+/// the predictor produce.
+CorunMatrix random_matrix(std::size_t n, util::SplitMix64& rng) {
+  CorunMatrix m;
+  for (std::size_t i = 0; i < n; ++i)
+    m.workloads.push_back("wl" + std::to_string(i));
+  m.solo_cycles.assign(n, 1'000'000);
+  m.normalized.assign(n, std::vector<double>(n, 1.0));
+  for (auto& row : m.normalized)
+    for (double& cell : row) cell = 1.0 + 1.5 * rng.uniform();
+  return m;
+}
+
+std::vector<std::size_t> all_jobs(std::size_t n) {
+  std::vector<std::size_t> jobs(n);
+  std::iota(jobs.begin(), jobs.end(), std::size_t{0});
+  return jobs;
+}
+
+TEST(SchedulerProperty, CostOrderingOnRandomMatrices) {
+  util::SplitMix64 rng{42};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 4 + 2 * rng.below(3);  // 4, 6, or 8 jobs
+    const CorunMatrix m = random_matrix(n, rng);
+    const auto jobs = all_jobs(n);
+    const Schedule greedy = schedule_greedy(m, jobs);
+    const Schedule optimal = schedule_optimal(m, jobs);
+    const Schedule worst = schedule_worst(m, jobs);
+    // greedy can only lose to the exhaustive matcher, and a pair of
+    // perfectly harmonious jobs costs exactly 2.0 -- so (n/2) * 2.0 is
+    // the floor of any matching.
+    EXPECT_GE(greedy.total_cost, optimal.total_cost - 1e-9)
+        << "greedy beat optimal on trial " << trial;
+    EXPECT_GE(optimal.total_cost, static_cast<double>(n) - 1e-9)
+        << "optimal under the harmony floor on trial " << trial;
+    EXPECT_GE(worst.total_cost, greedy.total_cost - 1e-9)
+        << "adversarial matcher lost to greedy on trial " << trial;
+    EXPECT_EQ(greedy.pairs.size(), n / 2);
+    EXPECT_EQ(optimal.pairs.size(), n / 2);
+    EXPECT_EQ(worst.pairs.size(), n / 2);
+  }
+}
+
+TEST(SchedulerProperty, BillPairsInvariantToPairOrder) {
+  util::SplitMix64 rng{7};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 6;
+    const CorunMatrix m = random_matrix(n, rng);
+    std::vector<Pairing> pairs = schedule_greedy(m, all_jobs(n)).pairs;
+    const Schedule base = bill_pairs(m, pairs);
+    // Deterministic shuffle of the pair list (and of each pair's
+    // endpoints -- cost is symmetric in a and b).
+    std::vector<Pairing> shuffled = pairs;
+    for (std::size_t i = shuffled.size(); i > 1; --i)
+      std::swap(shuffled[i - 1], shuffled[rng.below(i)]);
+    for (auto& p : shuffled)
+      if (rng.below(2)) std::swap(p.a, p.b);
+    const Schedule reordered = bill_pairs(m, shuffled);
+    EXPECT_NEAR(reordered.total_cost, base.total_cost, 1e-9);
+    EXPECT_NEAR(reordered.worst_slowdown, base.worst_slowdown, 1e-12);
+    EXPECT_EQ(reordered.worst_class, base.worst_class);
+  }
+}
+
+TEST(SchedulerProperty, BillingAtAnotherMatrixReprices) {
+  util::SplitMix64 rng{11};
+  const CorunMatrix planned = random_matrix(6, rng);
+  const CorunMatrix measured = random_matrix(6, rng);
+  const Schedule plan = schedule_greedy(planned, all_jobs(6));
+  const Schedule billed = bill_pairs(measured, plan.pairs);
+  double expect = 0.0;
+  for (const Pairing& p : plan.pairs) expect += pair_cost(measured, p.a, p.b);
+  EXPECT_NEAR(billed.total_cost, expect, 1e-9);
+}
+
+TEST(SchedulerProperty, PairwiseApiIsTwoSlotGroupCost) {
+  util::SplitMix64 rng{13};
+  for (int trial = 0; trial < 50; ++trial) {
+    const CorunMatrix m = random_matrix(5, rng);
+    const std::size_t a = rng.below(5), b = rng.below(5);
+    EXPECT_NEAR(pair_cost(m, a, b), group_cost(m, {a, b}), 1e-12);
+    EXPECT_NEAR(corun_slowdown(m, a, {b}), m.at(a, b), 1e-12);
+    // Alone on a machine: no interference, cost == group size.
+    EXPECT_DOUBLE_EQ(corun_slowdown(m, a, {}), 1.0);
+    EXPECT_DOUBLE_EQ(group_cost(m, {a}), 1.0);
+  }
+}
+
+TEST(SchedulerProperty, GroupCostGrowsWithGroupSize) {
+  // Adding a co-runner can only add excess slowdown (entries >= 1), so
+  // a machine's cost is monotone in its resident set.
+  util::SplitMix64 rng{17};
+  for (int trial = 0; trial < 20; ++trial) {
+    const CorunMatrix m = random_matrix(6, rng);
+    std::vector<std::size_t> group = {0, 1};
+    double prev = group_cost(m, group);
+    for (std::size_t extra = 2; extra < 6; ++extra) {
+      group.push_back(extra);
+      const double cost = group_cost(m, group);
+      EXPECT_GE(cost, prev - 1e-12);
+      prev = cost;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coperf::harness
