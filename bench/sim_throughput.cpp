@@ -1,0 +1,166 @@
+// Simulator-throughput tracker: how fast the hot path turns host time
+// into simulated work, measured on the experiment the repo runs most --
+// the fig5 co-run matrix build.
+//
+// Three phases:
+//   1. solo characterization: every workload simulated alone, reporting
+//      simulated-cycles-per-wall-second and MB/s of demand-access line
+//      traffic (loads+stores, 64 B per access) -- the raw hot-path
+//      throughput numbers tracked across PRs;
+//   2. cold matrix build: the full fg x bg sweep with an empty run
+//      cache (every pair simulated for real);
+//   3. warm matrix build: the identical sweep again -- with the run
+//      cache it must finish with ZERO new simulations.
+//
+// --json appends a machine-readable object for the CI perf artifact.
+// The deterministic StaticChunk schedule keeps the work partition
+// reproducible run to run.
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/matrix.hpp"
+#include "harness/report.hpp"
+#include "harness/runcache.hpp"
+
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace coperf;
+
+  // Strip --json before the shared flag parser sees it.
+  bool json = false;
+  std::vector<char*> args_v;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--json")
+      json = true;
+    else
+      args_v.push_back(argv[i]);
+  }
+  auto args = bench::parse_args(static_cast<int>(args_v.size()), args_v.data(),
+                                /*subset_supported=*/true);
+  // This bench defaults to the 8-workload Tiny configuration the perf
+  // trajectory tracks (override with --size/--subset as usual).
+  if (!args.size_override && !args.native) args.size_override = wl::SizeClass::Tiny;
+  bench::print_config(args, "simulator throughput (solo + corun matrix)");
+
+  std::vector<std::string> subset = args.subset;
+  if (subset.empty())
+    subset = {"Stream", "Bandit", "G-PR", "CIFAR", "fotonik3d",
+              "swaptions", "IRSmk", "blackscholes"};
+
+  harness::RunCache& cache = harness::RunCache::instance();
+  // Phases must measure real simulation: park the disk layer so stale
+  // entries from earlier invocations cannot serve the "cold" build,
+  // and force the memory layer ON -- the warm-build zero-new-sims
+  // check below is vacuous with the cache disabled (COPERF_RUN_CACHE=0
+  // would leave the stats counters at zero while re-simulating).
+  const std::string saved_disk = cache.disk_dir();
+  const bool saved_enabled = cache.enabled();
+  cache.set_enabled(true);
+  cache.set_disk_dir("");
+  cache.clear();
+  cache.reset_stats();
+
+  // ---- phase 1: solo characterization -------------------------------
+  std::uint64_t sim_cycles = 0, instructions = 0, accesses = 0,
+                mem_bytes = 0;
+  const double t0 = now_seconds();
+  for (const auto& w : subset) {
+    const harness::RunResult r = harness::run_solo(w, args.run_options());
+    sim_cycles += r.stats.cycles;
+    instructions += r.stats.instructions;
+    accesses += r.stats.loads + r.stats.stores;
+    mem_bytes += r.stats.bytes_from_mem;
+  }
+  const double solo_wall = now_seconds() - t0;
+  const double access_mb =
+      static_cast<double>(accesses) * sim::kLineBytes / 1e6;
+  std::cout << "solo: " << subset.size() << " workloads in "
+            << harness::Table::fmt(solo_wall, 2) << " s -> "
+            << harness::Table::fmt(static_cast<double>(sim_cycles) / 1e6 /
+                                       solo_wall,
+                                   1)
+            << " M simulated core-cycles/s, "
+            << harness::Table::fmt(access_mb / solo_wall, 1)
+            << " MB of demand accesses/s\n";
+
+  // ---- phase 2: cold matrix build ------------------------------------
+  harness::MatrixOptions mo;
+  mo.run = args.run_options();
+  mo.reps = args.effective_reps();
+  mo.subset = subset;
+  mo.host_threads = 0;  // pool default: hardware concurrency
+  mo.schedule = harness::ParallelSchedule::StaticChunk;
+
+  cache.clear();  // phase 1's solos must not warm the "cold" build
+  cache.reset_stats();
+  const double t1 = now_seconds();
+  const harness::CorunMatrix cold = harness::corun_matrix(mo);
+  const double cold_wall = now_seconds() - t1;
+  const auto cold_stats = cache.stats();
+  std::cout << "matrix cold: " << subset.size() << "x" << subset.size()
+            << " in " << harness::Table::fmt(cold_wall, 2) << " s ("
+            << cold_stats.misses << " simulations)\n";
+
+  // ---- phase 3: warm matrix build ------------------------------------
+  cache.reset_stats();
+  const double t2 = now_seconds();
+  const harness::CorunMatrix warm = harness::corun_matrix(mo);
+  const double warm_wall = now_seconds() - t2;
+  const auto warm_stats = cache.stats();
+  std::cout << "matrix warm: " << harness::Table::fmt(warm_wall, 2) << " s ("
+            << warm_stats.misses << " new simulations, "
+            << warm_stats.hits << " cache hits)\n";
+
+  bool identical = cold.size() == warm.size();
+  for (std::size_t i = 0; identical && i < cold.size(); ++i)
+    for (std::size_t j = 0; identical && j < cold.size(); ++j)
+      identical = cold.at(i, j) == warm.at(i, j);
+  std::cout << "warm matrix " << (identical ? "identical" : "DIVERGED")
+            << "; speedup cold/warm = "
+            << harness::Table::fmt(cold_wall / warm_wall, 1) << "x\n";
+
+  cache.set_disk_dir(saved_disk);
+  cache.set_enabled(saved_enabled);
+
+  if (json) {
+    std::ostringstream js;
+    js << "{\n"
+       << "  \"config\": {\"size\": \"" << bench::size_name(args.size())
+       << "\", \"threads\": " << args.threads
+       << ", \"reps\": " << args.effective_reps()
+       << ", \"workloads\": " << subset.size() << "},\n"
+       << "  \"solo\": {\"wall_s\": " << solo_wall
+       << ", \"sim_cycles\": " << sim_cycles
+       << ", \"sim_cycles_per_s\": " << static_cast<double>(sim_cycles) / solo_wall
+       << ", \"instructions\": " << instructions
+       << ", \"access_mb\": " << access_mb
+       << ", \"access_mb_per_s\": " << access_mb / solo_wall
+       << ", \"dram_bytes\": " << mem_bytes << "},\n"
+       << "  \"matrix_cold\": {\"wall_s\": " << cold_wall
+       << ", \"simulations\": " << cold_stats.misses << "},\n"
+       << "  \"matrix_warm\": {\"wall_s\": " << warm_wall
+       << ", \"new_simulations\": " << warm_stats.misses
+       << ", \"cache_hits\": " << warm_stats.hits
+       << ", \"identical\": " << (identical ? "true" : "false") << "}\n"
+       << "}\n";
+    std::cout << "\n" << js.str();
+  }
+  // The warm build regressing to real simulations is a correctness
+  // failure of the run cache, not a perf blip: fail loudly.
+  return (warm_stats.misses == 0 && identical) ? 0 : 1;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
+}

@@ -51,22 +51,29 @@ CorunMatrix corun_matrix(const MatrixOptions& opt) {
     m.solo_cycles = opt.solo_cycles;
   } else {
     m.solo_cycles.assign(n, 0);
-    parallel_for(n, opt.host_threads, [&](std::size_t i) {
-      m.solo_cycles[i] =
-          run_solo_median(m.workloads[i], opt.run, opt.reps).cycles;
-    });
+    parallel_for(
+        n, opt.host_threads,
+        [&](std::size_t i) {
+          m.solo_cycles[i] =
+              run_solo_median(m.workloads[i], opt.run, opt.reps).cycles;
+        },
+        opt.schedule);
   }
 
   // Full fg x bg sweep.
   m.normalized.assign(n, std::vector<double>(n, 0.0));
-  parallel_for(n * n, opt.host_threads, [&](std::size_t idx) {
-    const std::size_t fg = idx / n;
-    const std::size_t bg = idx % n;
-    const CorunResult r =
-        run_pair_median(m.workloads[fg], m.workloads[bg], opt.run, opt.reps);
-    m.normalized[fg][bg] = static_cast<double>(r.fg.cycles) /
-                           static_cast<double>(m.solo_cycles[fg]);
-  });
+  parallel_for(
+      n * n, opt.host_threads,
+      [&](std::size_t idx) {
+        const std::size_t fg = idx / n;
+        const std::size_t bg = idx % n;
+        const CorunResult r = run_pair_median(m.workloads[fg],
+                                              m.workloads[bg], opt.run,
+                                              opt.reps);
+        m.normalized[fg][bg] = static_cast<double>(r.fg.cycles) /
+                               static_cast<double>(m.solo_cycles[fg]);
+      },
+      opt.schedule);
   return m;
 }
 

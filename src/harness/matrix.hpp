@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "harness/classify.hpp"
+#include "harness/parallel.hpp"
 #include "harness/runner.hpp"
 
 namespace coperf::harness {
@@ -41,6 +42,9 @@ struct MatrixOptions {
   RunOptions run;
   unsigned reps = 3;           ///< median-of-N (paper: 3 runs per pair)
   unsigned host_threads = 0;   ///< 0 = hardware_concurrency
+  /// StaticChunk gives a reproducible index-to-worker partition for
+  /// benchmarking (bench/sim_throughput); Dynamic balances load.
+  ParallelSchedule schedule = ParallelSchedule::Dynamic;
   /// Restrict to a subset of workloads (empty = all 25 applications).
   std::vector<std::string> subset;
   /// Precomputed solo baselines, one per workload in the exact axis

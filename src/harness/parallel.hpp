@@ -2,8 +2,10 @@
 //
 // Every coperf simulation is self-contained (no shared mutable state
 // between Machine instances), so experiment sweeps parallelize across
-// host threads trivially. Exceptions from workers are captured and
-// rethrown on the caller.
+// host threads trivially. Work is executed on a process-wide persistent
+// worker pool (spawned lazily, reused by every parallel_for call) so
+// matrix sweeps stop paying thread create/join costs per call.
+// Exceptions from workers are captured and rethrown on the caller.
 #pragma once
 
 #include <cstddef>
@@ -11,9 +13,27 @@
 
 namespace coperf::harness {
 
-/// Runs body(i) for i in [0, total) on up to `host_threads` threads
-/// (0 = hardware concurrency). Blocks until all complete.
+/// How parallel_for hands indices to workers.
+enum class ParallelSchedule {
+  /// Workers race on a shared atomic counter: best load balance when
+  /// per-index cost varies (co-run cells differ wildly in cycles).
+  Dynamic,
+  /// Static block partition: participant t of n processes the
+  /// contiguous range [t*total/n, (t+1)*total/n). Index-to-thread
+  /// assignment is a pure function of (total, n), making wall-clock
+  /// runs reproducible for benchmarking (bench/sim_throughput).
+  StaticChunk,
+};
+
+/// Runs body(i) for i in [0, total) on up to `host_threads` workers
+/// (0 = hardware concurrency) from the persistent pool. Blocks until
+/// all complete. The first exception thrown by any worker is rethrown
+/// here; remaining workers stop claiming new indices.
 void parallel_for(std::size_t total, unsigned host_threads,
-                  const std::function<void(std::size_t)>& body);
+                  const std::function<void(std::size_t)>& body,
+                  ParallelSchedule schedule = ParallelSchedule::Dynamic);
+
+/// Number of workers the persistent pool currently holds (diagnostics).
+unsigned pool_size();
 
 }  // namespace coperf::harness

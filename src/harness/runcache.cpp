@@ -1,0 +1,317 @@
+#include "harness/runcache.hpp"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "perf/metrics.hpp"
+
+namespace coperf::harness {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void put_stats(std::ostream& os, const char* tag, const sim::CoreStats& s) {
+  os << tag << ' ' << s.cycles << ' ' << s.instructions << ' ' << s.loads
+     << ' ' << s.stores << ' ' << s.l1d_hits << ' ' << s.l1d_misses << ' '
+     << s.l2_hits << ' ' << s.l2_misses << ' ' << s.l3_hits << ' '
+     << s.l3_misses << ' ' << s.bytes_from_mem << ' ' << s.bytes_written_back
+     << ' ' << s.stall_cycles_mem << ' ' << s.pending_l2_cycles << ' '
+     << s.barrier_wait_cycles << ' ' << s.prefetches_issued << '\n';
+}
+
+bool get_stats(std::istream& is, sim::CoreStats& s) {
+  return static_cast<bool>(
+      is >> s.cycles >> s.instructions >> s.loads >> s.stores >> s.l1d_hits >>
+      s.l1d_misses >> s.l2_hits >> s.l2_misses >> s.l3_hits >> s.l3_misses >>
+      s.bytes_from_mem >> s.bytes_written_back >> s.stall_cycles_mem >>
+      s.pending_l2_cycles >> s.barrier_wait_cycles >> s.prefetches_issued);
+}
+
+void put_run(std::ostream& os, const RunResult& r) {
+  os << "workload " << r.workload << '\n'
+     << "threads " << r.threads << '\n'
+     << "cycles " << r.cycles << '\n'
+     << "seconds " << fmt_double(r.seconds) << '\n';
+  put_stats(os, "stats", r.stats);
+  os << "avg_bw " << fmt_double(r.avg_bw_gbs) << '\n'
+     << "footprint " << r.footprint_bytes << '\n'
+     << "hit_limit " << (r.hit_cycle_limit ? 1 : 0) << '\n'
+     << "regions " << r.regions.size() << '\n';
+  for (const auto& reg : r.regions) {
+    put_stats(os, "region_stats", reg.stats);
+    // The name goes last on its own line: region ids may contain spaces.
+    os << "region_name " << reg.region << '\n';
+  }
+}
+
+bool get_run(std::istream& is, RunResult& r) {
+  std::string tag;
+  int hit_limit = 0;
+  std::size_t nregions = 0;
+  if (!(is >> tag >> r.workload) || tag != "workload") return false;
+  if (!(is >> tag >> r.threads) || tag != "threads") return false;
+  if (!(is >> tag >> r.cycles) || tag != "cycles") return false;
+  if (!(is >> tag >> r.seconds) || tag != "seconds") return false;
+  if (!(is >> tag) || tag != "stats" || !get_stats(is, r.stats)) return false;
+  if (!(is >> tag >> r.avg_bw_gbs) || tag != "avg_bw") return false;
+  if (!(is >> tag >> r.footprint_bytes) || tag != "footprint") return false;
+  if (!(is >> tag >> hit_limit) || tag != "hit_limit") return false;
+  if (!(is >> tag >> nregions) || tag != "regions") return false;
+  r.hit_cycle_limit = hit_limit != 0;
+  r.metrics = perf::Metrics::from(r.stats);
+  r.regions.clear();
+  r.regions.reserve(nregions);
+  for (std::size_t i = 0; i < nregions; ++i) {
+    perf::RegionProfile reg;
+    if (!(is >> tag) || tag != "region_stats" || !get_stats(is, reg.stats))
+      return false;
+    if (!(is >> tag) || tag != "region_name") return false;
+    is.ignore(1);  // the separating space
+    if (!std::getline(is, reg.region)) return false;
+    reg.metrics = perf::Metrics::from(reg.stats);
+    r.regions.push_back(std::move(reg));
+  }
+  return true;
+}
+
+void put_pair(std::ostream& os, const CorunResult& c) {
+  put_run(os, c.fg);
+  os << "bg_workload " << c.bg_workload << '\n'
+     << "bg_runs " << c.bg_runs_completed << '\n';
+  put_stats(os, "bg_stats", c.bg_stats);
+  os << "bg_avg_bw " << fmt_double(c.bg_avg_bw_gbs) << '\n'
+     << "total_avg_bw " << fmt_double(c.total_avg_bw_gbs) << '\n';
+}
+
+bool get_pair(std::istream& is, CorunResult& c) {
+  std::string tag;
+  if (!get_run(is, c.fg)) return false;
+  if (!(is >> tag >> c.bg_workload) || tag != "bg_workload") return false;
+  if (!(is >> tag >> c.bg_runs_completed) || tag != "bg_runs") return false;
+  if (!(is >> tag) || tag != "bg_stats" || !get_stats(is, c.bg_stats))
+    return false;
+  if (!(is >> tag >> c.bg_avg_bw_gbs) || tag != "bg_avg_bw") return false;
+  if (!(is >> tag >> c.total_avg_bw_gbs) || tag != "total_avg_bw") return false;
+  return true;
+}
+
+}  // namespace
+
+struct RunCache::Impl {
+  std::mutex mu;
+  std::unordered_map<std::string, RunResult> solo;
+  std::unordered_map<std::string, CorunResult> pair;
+  Stats stats;
+
+  std::filesystem::path entry_path(const std::string& dir,
+                                   const std::string& key) const {
+    char name[32];
+    std::snprintf(name, sizeof name, "%016" PRIx64 ".run", fnv1a(key));
+    return std::filesystem::path{dir} / name;
+  }
+
+  /// Reads a disk entry; verifies the embedded key (collision safety).
+  template <typename T, typename GetFn>
+  bool disk_load(const std::string& dir, const std::string& key, T* out,
+                 GetFn get) {
+    if (dir.empty()) return false;
+    std::ifstream in{entry_path(dir, key)};
+    if (!in) return false;
+    std::string line;
+    if (!std::getline(in, line) || line != "coperf-run-cache v1") return false;
+    if (!std::getline(in, line) || line != "key " + key) return false;
+    return get(in, *out);
+  }
+
+  template <typename T, typename PutFn>
+  void disk_store(const std::string& dir, const std::string& key, const T& v,
+                  PutFn put) {
+    if (dir.empty()) return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const auto path = entry_path(dir, key);
+    const auto tmp = path.string() + ".tmp" + std::to_string(::getpid());
+    {
+      std::ofstream out{tmp};
+      if (!out) return;
+      out << "coperf-run-cache v1\nkey " << key << '\n';
+      put(out, v);
+      if (!out) {
+        std::filesystem::remove(tmp, ec);
+        return;
+      }
+    }
+    std::filesystem::rename(tmp, path, ec);  // atomic publish
+    if (ec) std::filesystem::remove(tmp, ec);
+  }
+};
+
+RunCache::RunCache() : impl_(new Impl) {
+  if (const char* off = std::getenv("COPERF_RUN_CACHE");
+      off != nullptr && std::string_view{off} == "0")
+    enabled_ = false;
+  if (const char* dir = std::getenv("COPERF_RUN_CACHE_DIR");
+      dir != nullptr && *dir != '\0')
+    disk_dir_ = dir;
+}
+
+RunCache& RunCache::instance() {
+  static RunCache cache;
+  return cache;
+}
+
+RunCache::Stats RunCache::stats() const {
+  std::lock_guard lock{impl_->mu};
+  return impl_->stats;
+}
+
+void RunCache::reset_stats() {
+  std::lock_guard lock{impl_->mu};
+  impl_->stats = Stats{};
+}
+
+void RunCache::clear() {
+  std::lock_guard lock{impl_->mu};
+  impl_->solo.clear();
+  impl_->pair.clear();
+}
+
+void RunCache::clear_disk() {
+  std::lock_guard lock{impl_->mu};
+  if (disk_dir_.empty()) return;
+  std::error_code ec;
+  for (const auto& e :
+       std::filesystem::directory_iterator{disk_dir_, ec}) {
+    if (e.path().extension() == ".run") std::filesystem::remove(e.path(), ec);
+  }
+}
+
+void RunCache::set_disk_dir(std::string dir) {
+  std::lock_guard lock{impl_->mu};
+  disk_dir_ = std::move(dir);
+}
+
+bool RunCache::lookup_solo(const std::string& key, RunResult* out) {
+  std::lock_guard lock{impl_->mu};
+  if (auto it = impl_->solo.find(key); it != impl_->solo.end()) {
+    ++impl_->stats.hits;
+    *out = it->second;
+    return true;
+  }
+  if (impl_->disk_load(disk_dir_, key, out,
+                       [](std::istream& is, RunResult& r) {
+                         return get_run(is, r);
+                       })) {
+    ++impl_->stats.disk_hits;
+    impl_->solo.emplace(key, *out);
+    return true;
+  }
+  ++impl_->stats.misses;
+  return false;
+}
+
+void RunCache::store_solo(const std::string& key, const RunResult& r) {
+  std::lock_guard lock{impl_->mu};
+  impl_->solo.emplace(key, r);
+  impl_->disk_store(disk_dir_, key, r, [](std::ostream& os, const RunResult& v) {
+    put_run(os, v);
+  });
+}
+
+bool RunCache::lookup_pair(const std::string& key, CorunResult* out) {
+  std::lock_guard lock{impl_->mu};
+  if (auto it = impl_->pair.find(key); it != impl_->pair.end()) {
+    ++impl_->stats.hits;
+    *out = it->second;
+    return true;
+  }
+  if (impl_->disk_load(disk_dir_, key, out,
+                       [](std::istream& is, CorunResult& c) {
+                         return get_pair(is, c);
+                       })) {
+    ++impl_->stats.disk_hits;
+    impl_->pair.emplace(key, *out);
+    return true;
+  }
+  ++impl_->stats.misses;
+  return false;
+}
+
+void RunCache::store_pair(const std::string& key, const CorunResult& r) {
+  std::lock_guard lock{impl_->mu};
+  impl_->pair.emplace(key, r);
+  impl_->disk_store(disk_dir_, key, r,
+                    [](std::ostream& os, const CorunResult& v) {
+                      put_pair(os, v);
+                    });
+}
+
+std::string RunCache::machine_fingerprint(const sim::MachineConfig& m) {
+  std::ostringstream os;
+  const auto cache = [&](const sim::CacheConfig& c) {
+    os << c.size_bytes << ',' << c.assoc << ',' << c.latency_cycles << ','
+       << c.line_bytes << ';';
+  };
+  os << "cores=" << m.num_cores << ";freq=" << fmt_double(m.freq_ghz) << ";l1=";
+  cache(m.l1d);
+  os << "l2=";
+  cache(m.l2);
+  os << "l3=";
+  cache(m.l3);
+  os << "incl=" << m.l3_inclusive << ";bw=" << fmt_double(m.peak_bw_gbs)
+     << ";corebw=" << fmt_double(m.per_core_bw_gbs)
+     << ";dram=" << m.dram_latency_cycles << ";mshr=" << m.mshr_per_core
+     << ";sb=" << m.store_buffer << ";rob=" << m.rob_instructions
+     << ";q=" << m.quantum_cycles << ";pf=" << m.prefetch.l2_stream
+     << m.prefetch.l2_adjacent << m.prefetch.l1_next_line
+     << m.prefetch.l1_ip_stride << ";deg=" << m.streamer_degree
+     << ";train=" << m.streamer_train << ";scale=" << m.scale;
+  return os.str();
+}
+
+namespace {
+std::string options_key(const RunOptions& opt, bool with_bg) {
+  std::ostringstream os;
+  os << "|size=" << static_cast<int>(opt.size) << "|threads=" << opt.threads;
+  if (with_bg) os << "|bg_threads=" << opt.bg_threads;
+  os << "|seed=" << opt.seed << "|sw=" << opt.sample_window
+     << "|cl=" << opt.cycle_limit << "|mach{"
+     << RunCache::machine_fingerprint(opt.machine) << "}";
+  return os.str();
+}
+}  // namespace
+
+std::string RunCache::solo_key(std::string_view workload,
+                               const RunOptions& opt) {
+  return "solo|" + std::string{workload} + options_key(opt, /*with_bg=*/false);
+}
+
+std::string RunCache::pair_key(std::string_view fg, std::string_view bg,
+                               const RunOptions& opt) {
+  return "pair|" + std::string{fg} + "|vs|" + std::string{bg} +
+         options_key(opt, /*with_bg=*/true);
+}
+
+}  // namespace coperf::harness

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "harness/runcache.hpp"
 #include "perf/profiler.hpp"
 #include "wl/registry.hpp"
 
@@ -37,6 +38,15 @@ RunResult collect_app(sim::Machine& m, std::size_t app_index,
 }  // namespace
 
 RunResult run_solo(std::string_view workload, const RunOptions& opt) {
+  // Simulations are deterministic in the key's fields, so a cache hit
+  // is bit-identical to re-running the simulation.
+  RunCache& cache = RunCache::instance();
+  std::string key;
+  if (cache.enabled()) {
+    key = RunCache::solo_key(workload, opt);
+    RunResult cached;
+    if (cache.lookup_solo(key, &cached)) return cached;
+  }
   const auto& reg = wl::Registry::instance();
   auto model = reg.create(workload, wl::AppParams{0, opt.threads, opt.size,
                                                   opt.seed});
@@ -55,6 +65,7 @@ RunResult run_solo(std::string_view workload, const RunOptions& opt) {
   RunResult r =
       collect_app(m, 0, *model, out.finish_cycle, bw, out.hit_cycle_limit);
   r.footprint_bytes = model->footprint_bytes();
+  if (cache.enabled()) cache.store_solo(key, r);
   return r;
 }
 
@@ -63,6 +74,13 @@ CorunResult run_pair(std::string_view fg, std::string_view bg,
   if (opt.threads + opt.bg_threads > opt.machine.num_cores)
     throw std::invalid_argument{
         "run_pair: fg+bg threads exceed the machine's cores"};
+  RunCache& cache = RunCache::instance();
+  std::string key;
+  if (cache.enabled()) {
+    key = RunCache::pair_key(fg, bg, opt);
+    CorunResult cached;
+    if (cache.lookup_pair(key, &cached)) return cached;
+  }
   const auto& reg = wl::Registry::instance();
   auto fg_model =
       reg.create(fg, wl::AppParams{0, opt.threads, opt.size, opt.seed});
@@ -99,6 +117,7 @@ CorunResult run_pair(std::string_view fg, std::string_view bg,
   c.bg_stats = m.app_stats(1);
   c.bg_avg_bw_gbs = bw.app_avg_gbs.size() > 1 ? bw.app_avg_gbs[1] : 0.0;
   c.total_avg_bw_gbs = bw.avg_total_gbs;
+  if (cache.enabled()) cache.store_pair(key, c);
   return c;
 }
 

@@ -18,16 +18,32 @@ std::uint64_t fold_index(Addr line, std::uint64_t sets_log2, std::uint64_t mask)
 }
 }  // namespace
 
-Cache::Cache(std::string name, const CacheConfig& cfg, bool hashed_index)
+Cache::Cache(std::string name, const CacheConfig& cfg, bool hashed_index,
+             bool track_private_copies)
     : name_(std::move(name)),
       cfg_(cfg),
       hashed_index_(hashed_index),
       num_sets_(cfg.num_sets()),
-      assoc_(cfg.assoc) {
+      assoc_(cfg.assoc),
+      track_private_(track_private_copies) {
   if (num_sets_ == 0 || (num_sets_ & (num_sets_ - 1)) != 0)
     throw std::invalid_argument{name_ + ": set count must be a power of two"};
   sets_log2_ = static_cast<std::uint64_t>(std::countr_zero(num_sets_));
-  ways_.resize(num_sets_ * assoc_);
+  const std::uint64_t lines = num_sets_ * assoc_;
+  tags_.assign(lines, 0);
+  lru_.assign(lines, 0);
+  flags_.assign(lines, 0);
+  set_app_mask_.assign(num_sets_, 0);
+  mru_idx_.assign(num_sets_, 0);
+  if (track_private_) private_mask_.assign(lines, 0);
+  // ~4 filter buckets per resident line keeps the false-positive rate
+  // (cold lookups that still scan) in the low percent range while the
+  // filter itself stays host-cache resident.
+  std::uint64_t buckets = std::bit_ceil(lines * 4);
+  buckets = std::min<std::uint64_t>(std::max<std::uint64_t>(buckets, 1024),
+                                    64 * 1024);
+  presence_.assign(buckets, 0);
+  presence_shift_ = 64u - static_cast<unsigned>(std::countr_zero(buckets));
 }
 
 std::uint64_t Cache::set_index(Addr line) const {
@@ -35,42 +51,69 @@ std::uint64_t Cache::set_index(Addr line) const {
   return hashed_index_ ? fold_index(line, sets_log2_, mask) : (line & mask);
 }
 
-Cache::Way* Cache::find(Addr line) {
-  const std::uint64_t base = set_index(line) * assoc_;
+std::uint32_t Cache::find_way(std::uint64_t set, std::uint64_t base,
+                              Addr line) const {
+  const std::uint64_t m = mru_idx_[set];
+  if ((flags_[m] & kValid) != 0 && tags_[m] == line)
+    return static_cast<std::uint32_t>(m - base);
   for (std::uint32_t w = 0; w < assoc_; ++w) {
-    Way& way = ways_[base + w];
-    if (way.valid && way.tag == line) return &way;
+    if ((flags_[base + w] & kValid) != 0 && tags_[base + w] == line) {
+      mru_idx_[set] = static_cast<std::uint32_t>(base + w);
+      return w;
+    }
   }
-  return nullptr;
+  return kNoWay;
 }
 
-const Cache::Way* Cache::find(Addr line) const {
-  const std::uint64_t base = set_index(line) * assoc_;
+std::uint32_t Cache::pick_victim(std::uint64_t base) const {
+  // First invalid way wins; otherwise the smallest LRU stamp (stamps
+  // are unique, so ties cannot occur).
+  std::uint32_t victim = 0;
+  std::uint64_t best_lru = ~std::uint64_t{0};
   for (std::uint32_t w = 0; w < assoc_; ++w) {
-    const Way& way = ways_[base + w];
-    if (way.valid && way.tag == line) return &way;
+    if ((flags_[base + w] & kValid) == 0) return w;
+    if (lru_[base + w] < best_lru) {
+      best_lru = lru_[base + w];
+      victim = w;
+    }
   }
-  return nullptr;
+  return victim;
 }
 
 CacheResult Cache::access(Addr line, bool is_write) {
   CacheResult r;
-  if (Way* way = find(line)) {
+  if (definitely_absent(line)) {
+    memo_line_ = line;
+    memo_valid_ = true;
+    if (is_write)
+      ++stats_.store_misses;
+    else
+      ++stats_.demand_misses;
+    return r;
+  }
+  const std::uint64_t set = set_index(line);
+  const std::uint64_t base = set * assoc_;
+  const std::uint32_t w = find_way(set, base, line);
+  if (w != kNoWay) {
+    const std::uint64_t i = base + w;
+    last_touch_ = i;
     r.hit = true;
-    r.was_prefetched = way->prefetched;
-    if (way->prefetched) {
+    r.was_prefetched = (flags_[i] & kPrefetched) != 0;
+    if (r.was_prefetched) {
       ++stats_.prefetch_useful;
-      way->prefetched = false;  // count first demand touch only
+      flags_[i] &= static_cast<std::uint8_t>(~kPrefetched);  // first touch only
     }
-    way->lru = ++lru_clock_;
+    lru_[i] = ++lru_clock_;
     if (is_write) {
-      way->dirty = true;
+      flags_[i] |= kDirty;
       ++stats_.store_hits;
     } else {
       ++stats_.demand_hits;
     }
     return r;
   }
+  memo_line_ = line;  // the upcoming fill may skip its duplicate lookup
+  memo_valid_ = true;
   if (is_write)
     ++stats_.store_misses;
   else
@@ -78,82 +121,144 @@ CacheResult Cache::access(Addr line, bool is_write) {
   return r;
 }
 
-bool Cache::probe(Addr line) const { return find(line) != nullptr; }
-
-CacheResult Cache::fill(Addr line, bool dirty, bool from_prefetch) {
-  CacheResult r;
-  if (Way* existing = find(line)) {
-    // Duplicate fill (e.g. prefetch raced a demand fill): refresh state.
-    existing->dirty = existing->dirty || dirty;
-    existing->lru = ++lru_clock_;
-    return r;
-  }
-  const std::uint64_t base = set_index(line) * assoc_;
-  Way* victim = nullptr;
-  for (std::uint32_t w = 0; w < assoc_; ++w) {
-    Way& way = ways_[base + w];
-    if (!way.valid) {
-      victim = &way;
-      break;
+bool Cache::probe(Addr line) const {
+  if (!definitely_absent(line)) {
+    const std::uint64_t set = set_index(line);
+    const std::uint64_t base = set * assoc_;
+    const std::uint32_t w = find_way(set, base, line);
+    if (w != kNoWay) {
+      last_touch_ = base + w;
+      return true;
     }
-    if (victim == nullptr || way.lru < victim->lru) victim = &way;
   }
-  if (victim->valid) {
+  memo_line_ = line;
+  memo_valid_ = true;
+  return false;
+}
+
+CacheResult Cache::install(std::uint64_t set, std::uint32_t way, Addr line,
+                           bool dirty, bool from_prefetch) {
+  CacheResult r;
+  const std::uint64_t i = set * assoc_ + way;
+  if ((flags_[i] & kValid) != 0) {
     r.evicted = true;
-    r.evicted_line = victim->tag;
-    r.evicted_dirty = victim->dirty;
-    if (victim->dirty) ++stats_.writebacks;
+    r.evicted_line = tags_[i];
+    r.evicted_dirty = (flags_[i] & kDirty) != 0;
+    if (r.evicted_dirty) ++stats_.writebacks;
+    --app_lines_[app_of_line(tags_[i])];
+    --valid_lines_;
+    presence_remove(tags_[i]);
   }
-  victim->tag = line;
-  victim->valid = true;
-  victim->dirty = dirty;
-  victim->prefetched = from_prefetch;
-  victim->lru = ++lru_clock_;
+  if (track_private_) {
+    if (r.evicted) r.evicted_private_mask = private_mask_[i];
+    if (private_mask_[i] != 0) private_mask_[i] = 0;  // fresh line: no copies
+  }
+  last_touch_ = i;
+  mru_idx_[set] = static_cast<std::uint32_t>(i);
+  tags_[i] = line;
+  flags_[i] = static_cast<std::uint8_t>(kValid | (dirty ? kDirty : 0) |
+                                        (from_prefetch ? kPrefetched : 0));
+  lru_[i] = ++lru_clock_;
+  ++app_lines_[app_of_line(line)];
+  ++valid_lines_;
+  presence_add(line);
+  const std::uint8_t bit = app_bit(app_of_line(line));
+  if ((set_app_mask_[set] & bit) == 0) set_app_mask_[set] |= bit;
   if (from_prefetch) ++stats_.prefetch_fills;
+  if (memo_valid_ && memo_line_ == line) memo_valid_ = false;
   return r;
 }
 
-void Cache::mark_dirty(Addr line) {
-  if (Way* way = find(line)) way->dirty = true;
+CacheResult Cache::fill(Addr line, bool dirty, bool from_prefetch) {
+  const std::uint64_t set = set_index(line);
+  const std::uint64_t base = set * assoc_;
+  if (memo_valid_ && memo_line_ == line) {
+    // The caller just observed this line missing (access/probe), and
+    // nothing can have inserted it since: skip the duplicate lookup.
+    memo_valid_ = false;
+    return install(set, pick_victim(base), line, dirty, from_prefetch);
+  }
+  // Single merged pass: duplicate check and victim selection together.
+  std::uint32_t first_invalid = kNoWay;
+  std::uint32_t lru_way = 0;
+  std::uint64_t best_lru = ~std::uint64_t{0};
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    const std::uint64_t i = base + w;
+    if ((flags_[i] & kValid) == 0) {
+      if (first_invalid == kNoWay) first_invalid = w;
+      continue;
+    }
+    if (tags_[i] == line) {
+      // Duplicate fill (e.g. prefetch raced a demand fill): refresh state.
+      CacheResult r;
+      if (dirty) flags_[i] |= kDirty;
+      lru_[i] = ++lru_clock_;
+      last_touch_ = i;
+      return r;
+    }
+    if (lru_[i] < best_lru) {
+      best_lru = lru_[i];
+      lru_way = w;
+    }
+  }
+  const std::uint32_t victim = first_invalid != kNoWay ? first_invalid : lru_way;
+  return install(set, victim, line, dirty, from_prefetch);
 }
 
-Cache::InvalidateResult Cache::invalidate(Addr line) {
-  InvalidateResult r;
-  if (Way* way = find(line)) {
-    r.present = true;
-    r.dirty = way->dirty;
-    way->valid = false;
-    way->dirty = false;
-    way->prefetched = false;
-    ++stats_.back_invalidations;
+bool Cache::mark_dirty(Addr line) {
+  if (!definitely_absent(line)) {
+    const std::uint64_t set = set_index(line);
+    const std::uint64_t base = set * assoc_;
+    const std::uint32_t w = find_way(set, base, line);
+    if (w != kNoWay) {
+      flags_[base + w] |= kDirty;
+      return true;
+    }
   }
+  memo_line_ = line;
+  memo_valid_ = true;
+  return false;
+}
+
+Cache::InvalidateResult Cache::invalidate_slow(Addr line) {
+  InvalidateResult r;
+  const std::uint64_t set = set_index(line);
+  const std::uint64_t base = set * assoc_;
+  const std::uint32_t w = find_way(set, base, line);
+  if (w == kNoWay) return r;
+  const std::uint64_t i = base + w;
+  r.present = true;
+  r.dirty = (flags_[i] & kDirty) != 0;
+  flags_[i] = 0;
+  --app_lines_[app_of_line(line)];
+  --valid_lines_;
+  presence_remove(line);
+  if (track_private_) private_mask_[i] = 0;
+  ++stats_.back_invalidations;
   return r;
 }
 
 std::uint64_t Cache::invalidate_app(AppId app) {
+  std::uint64_t remaining = app_lines_[app];
+  if (remaining == 0) return 0;
+  const std::uint8_t bit = app_bit(app);
   std::uint64_t n = 0;
-  for (Way& way : ways_) {
-    if (way.valid && app_of(way.tag << kLineBytesLog2) == app) {
-      way.valid = false;
-      way.dirty = false;
-      way.prefetched = false;
-      ++n;
+  for (std::uint64_t s = 0; s < num_sets_ && remaining > 0; ++s) {
+    if ((set_app_mask_[s] & bit) == 0) continue;  // app never filled here
+    const std::uint64_t base = s * assoc_;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      const std::uint64_t i = base + w;
+      if ((flags_[i] & kValid) != 0 && app_of_line(tags_[i]) == app) {
+        flags_[i] = 0;
+        ++n;
+        --remaining;
+        --valid_lines_;
+        presence_remove(tags_[i]);
+        if (track_private_) private_mask_[i] = 0;
+      }
     }
   }
-  return n;
-}
-
-std::uint64_t Cache::occupancy() const {
-  std::uint64_t n = 0;
-  for (const Way& way : ways_)
-    if (way.valid) ++n;
-  return n;
-}
-
-std::uint64_t Cache::occupancy_of(AppId app) const {
-  std::uint64_t n = 0;
-  for (const Way& way : ways_)
-    if (way.valid && app_of(way.tag << kLineBytesLog2) == app) ++n;
+  app_lines_[app] = 0;
   return n;
 }
 

@@ -5,8 +5,20 @@
 // set-index hash so co-running applications (whose address spaces
 // differ only in high bits) spread across all sets the way physical
 // addresses do on real hardware.
+//
+// Hot-path layout: way state is stored SoA (tags / flags / LRU stamps
+// in separate arrays) so the per-set way scan touches a handful of
+// contiguous cache lines instead of striding through an AoS struct.
+// A one-entry "known absent" memo lets the common access-miss -> fill
+// and probe -> fill chains run with a single set scan: the second call
+// skips the duplicate lookup and goes straight to victim selection.
+// Per-application valid-line counters make occupancy_of() O(1) and let
+// invalidate() reject lines of applications with no cached state
+// without scanning the set -- the inclusive-L3 back-invalidation
+// broadcast relies on this.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -25,12 +37,20 @@ struct CacheResult {
   bool evicted = false;         ///< fill displaced a valid line
   bool evicted_dirty = false;   ///< ...that needs a writeback
   Addr evicted_line = 0;
+  /// Cores whose private caches MAY hold the evicted line (bit per
+  /// core). Only meaningful when the cache tracks private copies (the
+  /// inclusive L3); defaults to "every core" so untracked caches stay
+  /// conservative.
+  std::uint64_t evicted_private_mask = ~std::uint64_t{0};
 };
 
 class Cache {
  public:
   /// `hashed_index` selects the folded-XOR set mapping (use for the LLC).
-  Cache(std::string name, const CacheConfig& cfg, bool hashed_index = false);
+  /// `track_private_copies` enables the per-line core mask consumed by
+  /// the inclusive-L3 back-invalidation broadcast (LLC only).
+  Cache(std::string name, const CacheConfig& cfg, bool hashed_index = false,
+        bool track_private_copies = false);
 
   /// Demand lookup; updates LRU and statistics. Does NOT allocate on miss
   /// (the hierarchy calls fill() once the line arrives from below).
@@ -43,20 +63,44 @@ class Cache {
   /// `from_prefetch` marks the line for usefulness accounting.
   CacheResult fill(Addr line, bool dirty, bool from_prefetch);
 
-  /// Marks an existing line dirty (store hit after fill). No-op if absent.
-  void mark_dirty(Addr line);
+  /// Marks an existing line dirty (store hit after fill). Returns
+  /// whether the line was present so dirty-victim chains can fall
+  /// through to the next level with a single scan per level.
+  bool mark_dirty(Addr line);
 
   /// Removes `line` if present; returns {was_present, was_dirty}.
+  /// O(1) when the owning application has no lines cached here or the
+  /// presence filter proves the line absent -- the common case for the
+  /// inclusive-L3 back-invalidation broadcast, so the filter checks are
+  /// inlined at the call site and the set scan stays out of line.
   struct InvalidateResult {
     bool present = false;
     bool dirty = false;
   };
-  InvalidateResult invalidate(Addr line);
+  InvalidateResult invalidate(Addr line) {
+    if (app_lines_[app_of_line(line)] == 0 || definitely_absent(line))
+      return {};
+    return invalidate_slow(line);
+  }
 
   /// Drops every line belonging to application `app` (used when a
   /// background application restarts with a fresh address space is NOT
   /// done in the paper's methodology -- provided for tests/tools).
+  /// Scans only the sets whose presence summary names the application.
   std::uint64_t invalidate_app(AppId app);
+
+  /// True when at least one line of `app` is resident. Coarse per-core
+  /// "may hold lines of app X" filter (complements the per-line mask).
+  bool holds_app(AppId app) const { return app_lines_[app] != 0; }
+
+  /// Records that `core`'s private caches received a copy of the line
+  /// most recently touched here (access hit, probe hit, or fill). The
+  /// hierarchy calls this right after the L3 interaction that precedes
+  /// a private fill, so the matching eviction later broadcasts
+  /// invalidations only to cores that ever pulled the line.
+  void note_private(unsigned core) {
+    if (track_private_) private_mask_[last_touch_] |= std::uint64_t{1} << core;
+  }
 
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CacheStats{}; }
@@ -67,24 +111,52 @@ class Cache {
   std::uint64_t size_bytes() const { return cfg_.size_bytes; }
   std::uint32_t latency() const { return cfg_.latency_cycles; }
 
-  /// Number of currently valid lines (test/diagnostic helper).
-  std::uint64_t occupancy() const;
-  /// Valid lines belonging to a given application (LLC-share diagnostics).
-  std::uint64_t occupancy_of(AppId app) const;
+  /// Number of currently valid lines (maintained counter, O(1)).
+  std::uint64_t occupancy() const { return valid_lines_; }
+  /// Valid lines belonging to a given application (O(1) counter).
+  std::uint64_t occupancy_of(AppId app) const { return app_lines_[app]; }
 
   std::uint64_t set_index(Addr line) const;
 
  private:
-  struct Way {
-    Addr tag = 0;
-    std::uint64_t lru = 0;  // larger == more recently used
-    bool valid = false;
-    bool dirty = false;
-    bool prefetched = false;
-  };
+  // flags_ bit layout.
+  static constexpr std::uint8_t kValid = 1;
+  static constexpr std::uint8_t kDirty = 2;
+  static constexpr std::uint8_t kPrefetched = 4;
+  static constexpr std::uint32_t kNoWay = ~0u;
 
-  Way* find(Addr line);
-  const Way* find(Addr line) const;
+  static AppId app_of_line(Addr line) {
+    return app_of(line << kLineBytesLog2);
+  }
+  /// Per-set presence summary bit (applications >= 7 share the top bit;
+  /// the summary is conservative, the way scan still matches exactly).
+  static std::uint8_t app_bit(AppId app) {
+    return static_cast<std::uint8_t>(1u << (app < 7 ? app : 7));
+  }
+
+  std::uint32_t find_way(std::uint64_t set, std::uint64_t base,
+                         Addr line) const;
+  std::uint32_t pick_victim(std::uint64_t base) const;
+  CacheResult install(std::uint64_t set, std::uint32_t way, Addr line,
+                      bool dirty, bool from_prefetch);
+  InvalidateResult invalidate_slow(Addr line);
+
+  /// Counting presence filter: bucket == 0 proves the line is absent
+  /// (counting, so removals keep it exact -- no false negatives ever).
+  std::uint64_t presence_bucket(Addr line) const {
+    return (line * 0x9E3779B97F4A7C15ull) >> presence_shift_;
+  }
+  bool definitely_absent(Addr line) const {
+    return presence_[presence_bucket(line)] == 0;
+  }
+  void presence_add(Addr line) {
+    std::uint8_t& c = presence_[presence_bucket(line)];
+    if (c != kPresenceSaturated) ++c;
+  }
+  void presence_remove(Addr line) {
+    std::uint8_t& c = presence_[presence_bucket(line)];
+    if (c != kPresenceSaturated) --c;  // saturated buckets stay pessimistic
+  }
 
   std::string name_;
   CacheConfig cfg_;
@@ -93,7 +165,45 @@ class Cache {
   std::uint32_t assoc_;
   std::uint64_t sets_log2_;
   std::uint64_t lru_clock_ = 0;
-  std::vector<Way> ways_;  // num_sets_ * assoc_, row-major by set
+
+  // SoA way state, row-major by set (index = set * assoc_ + way).
+  std::vector<Addr> tags_;
+  std::vector<std::uint64_t> lru_;
+  std::vector<std::uint8_t> flags_;
+  /// Per-line "cores that may hold a private copy" (tracking caches
+  /// only). Sticky until the line leaves this cache.
+  bool track_private_ = false;
+  std::vector<std::uint64_t> private_mask_;
+  /// Way index of the line most recently hit/probed/installed; the
+  /// anchor for note_private().
+  mutable std::uint64_t last_touch_ = 0;
+  /// Sticky per-set summary of which applications may have lines there.
+  std::vector<std::uint8_t> set_app_mask_;
+  /// Per-set most-recently-touched way (global line index): checked
+  /// first by find_way, which short-circuits the way scan for the
+  /// repeat-touch patterns that dominate demand hits and the stride
+  /// prefetchers' redundant-request probes.
+  mutable std::vector<std::uint32_t> mru_idx_;
+
+  /// Exact valid-line counters (total and per application).
+  std::uint64_t valid_lines_ = 0;
+  std::array<std::uint64_t, 256> app_lines_{};
+
+  static constexpr std::uint8_t kPresenceSaturated = 0xFF;
+  /// Counting filter over resident line numbers; sized ~4x the line
+  /// capacity so a cold lookup is rejected without a set scan. Byte
+  /// counters keep the filter small enough to live in host caches; a
+  /// saturated bucket stays pessimistic forever (still exact).
+  std::vector<std::uint8_t> presence_;
+  unsigned presence_shift_ = 64;
+
+  /// One-entry negative lookup memo: when valid, `memo_line_` is known
+  /// to be ABSENT (set by a missing access/probe/mark_dirty, consumed by
+  /// the fill that installs it). Removals keep the invariant; only an
+  /// install of the memoized line clears it.
+  mutable Addr memo_line_ = 0;
+  mutable bool memo_valid_ = false;
+
   CacheStats stats_;
 };
 

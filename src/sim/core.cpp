@@ -38,7 +38,7 @@ CoreStats Core::snapshot() const {
   return s;
 }
 
-const std::map<std::uint32_t, CoreStats>& Core::region_stats() {
+const std::vector<std::pair<std::uint32_t, CoreStats>>& Core::region_stats() {
   flush_region();
   return region_stats_;
 }
@@ -46,7 +46,9 @@ const std::map<std::uint32_t, CoreStats>& Core::region_stats() {
 void Core::flush_region() {
   CoreStats now = stats_;
   now.cycles = 0;  // cycles handled separately below
-  CoreStats& bucket = region_stats_[cur_region_];
+  // Workloads declare a handful of regions, so a sorted flat vector
+  // beats a node-based map on both lookup and iteration.
+  CoreStats& bucket = sim::region_bucket(region_stats_, cur_region_);
   auto diff = [](std::uint64_t a, std::uint64_t b) { return a - b; };
   bucket.instructions += diff(now.instructions, region_snapshot_.instructions);
   bucket.loads += diff(now.loads, region_snapshot_.loads);
@@ -223,7 +225,16 @@ void Core::run_until(Cycle until) {
   if (state_ != CoreState::Runnable) return;
   while (local_ < until) {
     if (buf_pos_ >= buf_len_) {
-      buf_len_ = src_->refill(buf_.data(), kBufCap);
+      // Prefer the source's zero-copy window; fall back to a copying
+      // refill for sources that do not expose one.
+      std::size_t n = 0;
+      if (const Op* view = src_->refill_view(n); view != nullptr) {
+        ops_ = view;
+        buf_len_ = n;
+      } else {
+        buf_len_ = src_->refill(buf_.data(), kBufCap);
+        ops_ = buf_.data();
+      }
       buf_pos_ = 0;
       if (buf_len_ == 0) {
         flush_region();
@@ -231,7 +242,7 @@ void Core::run_until(Cycle until) {
         return;
       }
     }
-    exec(buf_[buf_pos_++]);
+    exec(ops_[buf_pos_++]);
     if (state_ == CoreState::Blocked) return;
   }
 }

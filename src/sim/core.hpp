@@ -17,8 +17,9 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "sim/addr.hpp"
 #include "sim/hierarchy.hpp"
@@ -68,8 +69,10 @@ class Core {
 
   /// Cumulative counters with `cycles` filled in as elapsed local time.
   CoreStats snapshot() const;
-  /// Per-region counter deltas accumulated so far (flushes current region).
-  const std::map<std::uint32_t, CoreStats>& region_stats();
+  /// Per-region counter deltas accumulated so far (flushes current
+  /// region). Sorted ascending by region id; flat storage keeps the
+  /// per-region bookkeeping off the allocator on the hot path.
+  const std::vector<std::pair<std::uint32_t, CoreStats>>& region_stats();
 
   /// Forces local time forward (app restart joins, test setup).
   void advance_to(Cycle t) { local_ = std::max(local_, t); }
@@ -105,6 +108,9 @@ class Core {
   double frac_cycles_ = 0.0;  ///< sub-cycle accumulator for fractional CPI
 
   std::array<Op, kBufCap> buf_{};
+  /// Current op window: either a zero-copy view owned by the source or
+  /// buf_.data() after a copying refill.
+  const Op* ops_ = nullptr;
   std::size_t buf_pos_ = 0;
   std::size_t buf_len_ = 0;
 
@@ -123,7 +129,8 @@ class Core {
   std::uint32_t cur_region_ = 0;
   Cycle region_start_cycle_ = 0;
   CoreStats region_snapshot_;
-  std::map<std::uint32_t, CoreStats> region_stats_;
+  /// Flat (region id, accumulated stats) pairs, sorted by id.
+  std::vector<std::pair<std::uint32_t, CoreStats>> region_stats_;
 };
 
 }  // namespace coperf::sim

@@ -1,10 +1,13 @@
 #include "sim/hierarchy.hpp"
 
+#include <bit>
+
 namespace coperf::sim {
 
 MemorySystem::MemorySystem(const MachineConfig& cfg)
     : cfg_(cfg),
-      l3_(std::make_unique<Cache>("L3", cfg.l3, /*hashed_index=*/true)),
+      l3_(std::make_unique<Cache>("L3", cfg.l3, /*hashed_index=*/true,
+                                  /*track_private_copies=*/cfg.l3_inclusive)),
       channel_(cfg.bytes_per_cycle(), cfg.dram_latency_cycles) {
   cfg_.validate();
   l1_.reserve(cfg.num_cores);
@@ -37,15 +40,24 @@ void MemorySystem::set_prefetch_mask(const PrefetchMask& m) {
 void MemorySystem::handle_l3_eviction(const CacheResult& r, Cycle now) {
   if (!r.evicted) return;
   bool dirty = r.evicted_dirty;
+  const AppId app = app_of(r.evicted_line << kLineBytesLog2);
   if (cfg_.l3_inclusive) {
     // Inclusion victims: the line must leave every private cache too.
-    for (unsigned c = 0; c < cfg_.num_cores; ++c) {
-      if (auto inv = l1_[c]->invalidate(r.evicted_line); inv.dirty) dirty = true;
-      if (auto inv = l2_[c]->invalidate(r.evicted_line); inv.dirty) dirty = true;
+    // Instead of broadcasting to all 2*num_cores private caches, visit
+    // only the cores the L3 recorded as ever pulling this line
+    // (note_private). The mask is sticky-conservative: a listed core
+    // may have evicted the line long ago, and invalidate() rejects
+    // those with its O(1) presence filters.
+    std::uint64_t m = r.evicted_private_mask;
+    if (cfg_.num_cores < 64) m &= (std::uint64_t{1} << cfg_.num_cores) - 1;
+    while (m != 0) {
+      const auto c = static_cast<unsigned>(std::countr_zero(m));
+      m &= m - 1;
+      if (l1_[c]->invalidate(r.evicted_line).dirty) dirty = true;
+      if (l2_[c]->invalidate(r.evicted_line).dirty) dirty = true;
     }
   }
-  if (dirty)
-    channel_.write(now, kLineBytes, app_of(r.evicted_line << kLineBytesLog2));
+  if (dirty) channel_.write(now, kLineBytes, app);
 }
 
 Cycle MemorySystem::fetch_to_l3(unsigned core, Addr line, Cycle now,
@@ -63,23 +75,23 @@ void MemorySystem::fill_l2(unsigned core, Addr line, bool from_prefetch) {
   if (fill.evicted && fill.evicted_dirty) {
     // Write the dirty L2 victim back into the (inclusive) L3; if the L3
     // already dropped it, the traffic went to memory at that point.
-    if (l3_->probe(fill.evicted_line)) l3_->mark_dirty(fill.evicted_line);
+    // mark_dirty reports presence itself, so no probe double-walk.
+    (void)l3_->mark_dirty(fill.evicted_line);
   }
 }
 
 void MemorySystem::fill_l1(unsigned core, Addr line, bool dirty, bool from_prefetch) {
   const CacheResult fill = l1_[core]->fill(line, dirty, from_prefetch);
   if (fill.evicted && fill.evicted_dirty) {
-    if (l2_[core]->probe(fill.evicted_line))
-      l2_[core]->mark_dirty(fill.evicted_line);
-    else if (l3_->probe(fill.evicted_line))
-      l3_->mark_dirty(fill.evicted_line);
+    if (!l2_[core]->mark_dirty(fill.evicted_line))
+      (void)l3_->mark_dirty(fill.evicted_line);
   }
 }
 
-void MemorySystem::run_prefetches(unsigned core, Cycle now) {
-  last_prefetches_ = 0;
-  if (scratch_.empty()) return;
+void MemorySystem::run_prefetches_slow(unsigned core, Cycle now) {
+  // The probe -> fill chains below are effectively single set walks:
+  // a missing probe leaves a "known absent" memo in the cache, and the
+  // matching fill consumes it instead of re-running the lookup.
   for (const PrefetchRequest& req : scratch_) {
     // Demand priority: prefetch only into an idle core gate, and back
     // off entirely when the socket is congested.
@@ -89,12 +101,14 @@ void MemorySystem::run_prefetches(unsigned core, Cycle now) {
       if (l1_[core]->probe(req.line)) continue;
       if (!l2_[core]->probe(req.line)) {
         if (!l3_->probe(req.line)) (void)fetch_to_l3(core, req.line, now, true);
+        l3_->note_private(core);
         fill_l2(core, req.line, true);
       }
       fill_l1(core, req.line, /*dirty=*/false, true);
     } else {
       if (l2_[core]->probe(req.line)) continue;
       if (!l3_->probe(req.line)) (void)fetch_to_l3(core, req.line, now, true);
+      l3_->note_private(core);
       fill_l2(core, req.line, true);
     }
     ++last_prefetches_;
@@ -146,6 +160,7 @@ AccessOutcome MemorySystem::demand_access(unsigned core, Addr addr,
     const CacheResult fill = l3_->fill(line, /*dirty=*/false, false);
     handle_l3_eviction(fill, now);
   }
+  l3_->note_private(core);  // the line is about to enter this core's L1/L2
   fill_l2(core, line, false);
   fill_l1(core, line, is_write, false);
   run_prefetches(core, now);

@@ -74,7 +74,13 @@ class MemorySystem {
   void fill_l2(unsigned core, Addr line, bool from_prefetch);
   void fill_l1(unsigned core, Addr line, bool dirty, bool from_prefetch);
   void handle_l3_eviction(const CacheResult& r, Cycle now);
-  void run_prefetches(unsigned core, Cycle now);
+  /// Inline guard: most demand accesses queue no prefetch requests, so
+  /// the walk stays out of line and the empty case costs two stores.
+  void run_prefetches(unsigned core, Cycle now) {
+    last_prefetches_ = 0;
+    if (!scratch_.empty()) run_prefetches_slow(core, now);
+  }
+  void run_prefetches_slow(unsigned core, Cycle now);
 
   MachineConfig cfg_;
   std::vector<std::unique_ptr<Cache>> l1_;

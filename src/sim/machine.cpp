@@ -33,6 +33,16 @@ void Machine::add_app(AppBinding binding) {
   bg_runs_.push_back(0);
   app_finish_.push_back(0);
   apps_.push_back(std::move(binding));
+  rebuild_active_cores();
+}
+
+void Machine::rebuild_active_cores() {
+  active_cores_.clear();
+  for (unsigned c = 0; c < cfg_.num_cores; ++c) {
+    const CoreState s = cores_[c].state();
+    if (s == CoreState::Runnable || s == CoreState::Blocked)
+      active_cores_.push_back(c);
+  }
 }
 
 std::optional<Cycle> Machine::barrier_arrive(unsigned core, Cycle now) {
@@ -110,9 +120,18 @@ void Machine::check_progress() {
 
 void Machine::step_quantum() {
   const Cycle qend = global_ + cfg_.quantum_cycles;
-  for (Core& c : cores_) c.run_until(qend);
+  // Visiting only Runnable/Blocked cores keeps finished (and never
+  // bound) cores off the per-quantum path. Iteration stays in core-id
+  // order, so a core released by a lower-numbered sibling still runs
+  // within the same quantum, exactly like the full scan did.
+  bool any_finished = false;
+  for (unsigned c : active_cores_) {
+    cores_[c].run_until(qend);
+    any_finished |= cores_[c].state() == CoreState::Done;
+  }
   global_ = qend;
-  handle_background_restarts();
+  handle_background_restarts();  // may re-arm Done background cores
+  if (any_finished) rebuild_active_cores();
   sample_bandwidth();
   check_progress();
 }
@@ -162,14 +181,15 @@ CoreStats Machine::app_stats(std::size_t i) const {
 
 std::vector<std::pair<std::uint32_t, CoreStats>> Machine::app_region_stats(
     std::size_t i) {
-  std::map<std::uint32_t, CoreStats> merged;
+  // Flat sorted merge (regions are few); region 0 is the implicit
+  // "untagged" region and is reported like any other.
+  std::vector<std::pair<std::uint32_t, CoreStats>> merged;
   for (unsigned c : apps_[i].cores) {
     // Blocked cores cannot flush; snapshot what they have accumulated.
     for (const auto& [region, stats] : cores_[c].region_stats())
-      merged[region] += stats;
+      region_bucket(merged, region) += stats;
   }
-  // Region 0 is the implicit "untagged" region; report it too.
-  return {merged.begin(), merged.end()};
+  return merged;
 }
 
 }  // namespace coperf::sim

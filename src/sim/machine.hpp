@@ -113,6 +113,8 @@ class Machine final : public SyncEnv {
   bool foreground_done() const;
   void handle_background_restarts();
   void check_progress();
+  /// Recomputes `active_cores_` = cores that are Runnable or Blocked.
+  void rebuild_active_cores();
 
   MachineConfig cfg_;
   MemorySystem mem_;
@@ -120,6 +122,9 @@ class Machine final : public SyncEnv {
   std::vector<AppBinding> apps_;
   std::vector<int> core_to_app_;  // -1 == unbound
   std::vector<BarrierGroup> barriers_;
+  /// Cores worth visiting each quantum (not Idle, not Done), ascending.
+  /// Blocked cores stay listed: a sibling can release them mid-quantum.
+  std::vector<unsigned> active_cores_;
 
   Cycle global_ = 0;
   Cycle sample_window_ = 100'000;

@@ -76,6 +76,18 @@ class OpSource {
  public:
   virtual ~OpSource() = default;
   virtual std::size_t refill(Op* buf, std::size_t max) = 0;
+
+  /// Zero-copy variant: returns a pointer to `n` ready ops owned by the
+  /// source (valid until the next refill/refill_view/rearm call), or
+  /// nullptr to make the core fall back to the copying refill(). The
+  /// returned ops are exactly what refill() would have produced, so the
+  /// two paths are interchangeable; buffer-backed sources override this
+  /// to spare one 16-byte copy per op on the simulator's pump.
+  virtual const Op* refill_view(std::size_t& n) {
+    n = 0;
+    return nullptr;
+  }
+
   virtual ThreadAttr attr() const = 0;
 
   /// Called by the core when the thread's most recent Barrier op

@@ -5,7 +5,10 @@
 // and LL (average shared-resource load latency), per Section VI-A.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace coperf::sim {
 
@@ -117,6 +120,20 @@ struct CoreStats {
     return *this;
   }
 };
+
+/// Finds or inserts the bucket for `region` in a flat (region id,
+/// stats) vector kept sorted ascending by id -- the storage both
+/// Core's per-region accounting and Machine's cross-core merge use.
+inline CoreStats& region_bucket(
+    std::vector<std::pair<std::uint32_t, CoreStats>>& v,
+    std::uint32_t region) {
+  auto it = std::lower_bound(
+      v.begin(), v.end(), region,
+      [](const auto& entry, std::uint32_t id) { return entry.first < id; });
+  if (it == v.end() || it->first != region)
+    it = v.insert(it, {region, CoreStats{}});
+  return it->second;
+}
 
 /// Memory-channel counters (shared resource).
 struct MemoryStats {

@@ -48,6 +48,27 @@ class ThreadCtx {
     return n;
   }
 
+  /// Zero-copy drain of everything buffered: marks it consumed and
+  /// returns the slice. The slice stays valid until the next
+  /// reset_consumed()/clear() (i.e. until the pump resumes the body).
+  const sim::Op* drain_all_view(std::size_t& n) {
+    n = buf_.size() - head_;
+    const sim::Op* p = buf_.data() + head_;
+    head_ = buf_.size();
+    return p;
+  }
+
+  /// Reclaims buffer storage once a zero-copy view has been consumed.
+  void reset_consumed() {
+    if (head_ != 0 && head_ >= buf_.size()) {
+      buf_.clear();
+      head_ = 0;
+    }
+  }
+
+  /// Stable non-null pointer for empty zero-copy results.
+  const sim::Op* storage() const { return buf_.data(); }
+
   void clear() {
     buf_.clear();
     head_ = 0;
@@ -158,6 +179,24 @@ class CoroSource final : public sim::OpSource {
       if (ctx_.at_barrier() || !gen_ || gen_->done()) return 0;
       gen_->resume();
       if (ctx_.empty() && gen_->done()) return 0;
+    }
+  }
+
+  /// Zero-copy pump: hands the core the coroutine's buffer directly
+  /// (same op sequence as refill(), one 16-byte copy per op less).
+  const sim::Op* refill_view(std::size_t& n) override {
+    for (;;) {
+      if (!ctx_.empty()) return ctx_.drain_all_view(n);
+      ctx_.reset_consumed();
+      if (ctx_.at_barrier() || !gen_ || gen_->done()) {
+        n = 0;
+        return ctx_.storage();
+      }
+      gen_->resume();
+      if (ctx_.empty() && gen_->done()) {
+        n = 0;
+        return ctx_.storage();
+      }
     }
   }
 

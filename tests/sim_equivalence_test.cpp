@@ -1,0 +1,376 @@
+// Golden-stats equivalence guard for the simulator hot path.
+//
+// The hot-path refactors (single-scan cache fills, SoA way storage,
+// presence-filtered inclusion invalidation, runnable-core scheduling)
+// are pure performance work: every simulated statistic and finish cycle
+// must be bit-identical to the seed implementation. This suite pins the
+// Tiny-suite solo runs and three representative co-run pairs against a
+// golden snapshot captured from the pre-refactor tree.
+//
+// Regenerate after an INTENTIONAL semantic change with:
+//   COPERF_PRINT_GOLDEN=1 ./sim_equivalence_test
+// and paste the printed table over kGolden below.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/parallel.hpp"
+#include "harness/runcache.hpp"
+#include "harness/runner.hpp"
+#include "sim/machine.hpp"
+#include "wl/registry.hpp"
+
+namespace coperf {
+namespace {
+
+using Snapshot = std::vector<std::uint64_t>;
+
+const char* const kWorkloads[] = {"Stream", "Bandit",    "G-PR",
+                                  "CIFAR",  "fotonik3d", "swaptions",
+                                  "IRSmk",  "blackscholes"};
+const std::pair<const char*, const char*> kPairs[] = {
+    {"CIFAR", "fotonik3d"},  // victim-offender (paper Fig. 5 anchor)
+    {"G-PR", "fotonik3d"},   // graph victim vs. streaming offender
+    {"Stream", "Bandit"},    // offender vs. cache-resident harmony
+};
+
+void append(Snapshot& out, const sim::CoreStats& s) {
+  out.insert(out.end(),
+             {s.cycles, s.instructions, s.loads, s.stores, s.l1d_hits,
+              s.l1d_misses, s.l2_hits, s.l2_misses, s.l3_hits, s.l3_misses,
+              s.bytes_from_mem, s.bytes_written_back, s.stall_cycles_mem,
+              s.pending_l2_cycles, s.barrier_wait_cycles,
+              s.prefetches_issued});
+}
+
+void append(Snapshot& out, const sim::CacheStats& s) {
+  out.insert(out.end(),
+             {s.demand_hits, s.demand_misses, s.store_hits, s.store_misses,
+              s.prefetch_fills, s.prefetch_useful, s.writebacks,
+              s.back_invalidations});
+}
+
+harness::RunOptions tiny_options() {
+  harness::RunOptions o;
+  o.machine = sim::MachineConfig::scaled();
+  o.size = wl::SizeClass::Tiny;
+  o.threads = 4;
+  o.seed = 1;
+  return o;
+}
+
+/// Solo run through the public harness: finish cycle + CoreStats.
+Snapshot snap_solo(const std::string& workload) {
+  const harness::RunResult r = harness::run_solo(workload, tiny_options());
+  Snapshot out{r.cycles};
+  append(out, r.stats);
+  return out;
+}
+
+/// Co-run pair on a directly assembled Machine (mirrors run_pair's
+/// setup) so the shared-cache counters are snapshotted too.
+Snapshot snap_pair(const std::string& fg, const std::string& bg) {
+  const harness::RunOptions opt = tiny_options();
+  const auto& reg = wl::Registry::instance();
+  auto fg_model =
+      reg.create(fg, wl::AppParams{0, opt.threads, opt.size, opt.seed});
+  auto bg_model = reg.create(
+      bg, wl::AppParams{1, opt.bg_threads, opt.size, opt.seed + 0x9E37u});
+
+  sim::Machine m{opt.machine};
+  m.set_sample_window(opt.sample_window);
+
+  sim::AppBinding fgb;
+  fgb.id = 0;
+  for (unsigned c = 0; c < opt.threads; ++c) fgb.cores.push_back(c);
+  fgb.sources = fg_model->sources();
+  m.add_app(std::move(fgb));
+
+  sim::AppBinding bgb;
+  bgb.id = 1;
+  for (unsigned c = 0; c < opt.bg_threads; ++c)
+    bgb.cores.push_back(opt.threads + c);
+  bgb.sources = bg_model->sources();
+  bgb.background = true;
+  bgb.restart = [raw = bg_model.get()] { raw->restart(); };
+  m.add_app(std::move(bgb));
+
+  const sim::RunOutcome out = m.run();
+  Snapshot s{out.finish_cycle, out.app_finish[0], out.app_finish[1],
+             out.bg_runs[1]};
+  append(s, m.app_stats(0));
+  append(s, m.app_stats(1));
+  append(s, m.mem().l3().stats());
+  sim::CacheStats l1_total, l2_total;
+  for (unsigned c = 0; c < opt.machine.num_cores; ++c) {
+    l1_total += m.mem().l1(c).stats();
+    l2_total += m.mem().l2(c).stats();
+  }
+  append(s, l1_total);
+  append(s, l2_total);
+  return s;
+}
+
+std::vector<std::pair<std::string, Snapshot>> current_snapshots() {
+  std::vector<std::pair<std::string, Snapshot>> out;
+  for (const char* w : kWorkloads)
+    out.emplace_back("solo/" + std::string{w}, snap_solo(w));
+  for (const auto& [fg, bg] : kPairs)
+    out.emplace_back("pair/" + std::string{fg} + "+" + bg, snap_pair(fg, bg));
+  return out;
+}
+
+// clang-format off
+const std::vector<std::pair<std::string, Snapshot>> kGolden = {
+    {"solo/Stream",
+     {1421188ull, 4952566ull, 950272ull, 98304ull, 65536ull, 104719ull,
+      59121ull, 8565ull, 50556ull, 25ull, 50531ull, 3233984ull,
+      0ull, 4378380ull, 4910721ull, 0ull, 129954ull}},
+    {"solo/Bandit",
+     {472552ull, 1639310ull, 150000ull, 37500ull, 0ull, 0ull,
+      37500ull, 0ull, 37500ull, 0ull, 37500ull, 2400000ull,
+      0ull, 1534314ull, 1640268ull, 0ull, 0ull}},
+    {"solo/G-PR",
+     {825273ull, 3301092ull, 1835055ull, 569391ull, 53248ull, 213818ull,
+      408821ull, 150213ull, 258608ull, 249617ull, 8991ull, 575424ull,
+      0ull, 1220303ull, 2460604ull, 490897ull, 273513ull}},
+    {"solo/CIFAR",
+     {5531905ull, 22127620ull, 33984512ull, 466944ull, 126976ull, 560179ull,
+      33741ull, 3426ull, 30315ull, 4082ull, 26233ull, 1678912ull,
+      0ull, 4017697ull, 4499834ull, 813855ull, 535640ull}},
+    {"solo/fotonik3d",
+     {1296603ull, 4303190ull, 7077888ull, 147456ull, 49152ull, 192548ull,
+      4060ull, 371ull, 3689ull, 0ull, 3689ull, 236096ull,
+      0ull, 1009264ull, 1213409ull, 0ull, 144503ull}},
+    {"solo/swaptions",
+     {1835521ull, 7341480ull, 9683200ull, 153600ull, 153600ull, 307188ull,
+      12ull, 4ull, 8ull, 0ull, 8ull, 512ull,
+      0ull, 2272ull, 3392ull, 0ull, 768ull}},
+    {"solo/IRSmk",
+     {428055ull, 1712220ull, 395692ull, 56304ull, 1564ull, 10884ull,
+      46984ull, 22613ull, 24371ull, 0ull, 24371ull, 1559744ull,
+      0ull, 1264128ull, 1494590ull, 192978ull, 21221ull}},
+    {"solo/blackscholes",
+     {200545ull, 802180ull, 989184ull, 2048ull, 4096ull, 6136ull,
+      8ull, 4ull, 4ull, 0ull, 4ull, 256ull,
+      0ull, 311ull, 1079ull, 9285ull, 1028ull}},
+    {"pair/CIFAR+fotonik3d",
+     {8330514ull, 8330514ull, 7133645ull, 3ull, 33322056ull, 33984512ull,
+      466944ull, 126976ull, 538382ull, 55538ull, 6255ull, 49283ull,
+      4165ull, 45118ull, 2887552ull, 0ull, 11066238ull, 12242759ull,
+      4954092ull, 518880ull, 33323350ull, 26283596ull, 547575ull, 182521ull,
+      636021ull, 94075ull, 12784ull, 81291ull, 5ull, 81286ull,
+      5202304ull, 0ull, 18041093ull, 21568677ull, 0ull, 491679ull,
+      4170ull, 126404ull, 0ull, 0ull, 914877ull, 3334ull,
+      285495ull, 0ull, 883031ull, 131488ull, 291372ull, 18125ull,
+      947481ull, 946826ull, 306577ull, 16319ull, 19039ull, 130574ull,
+      0ull, 0ull, 965551ull, 19039ull, 288387ull, 187507ull}},
+    {"pair/G-PR+fotonik3d",
+     {1970172ull, 1970172ull, 1820281ull, 1ull, 7880688ull, 1835057ull,
+      569393ull, 53248ull, 212732ull, 409909ull, 150497ull, 259412ull,
+      236783ull, 22629ull, 1448256ull, 0ull, 5414885ull, 6719642ull,
+      875341ull, 271944ull, 7881121ull, 7524860ull, 156768ull, 52252ull,
+      191578ull, 17442ull, 2183ull, 15259ull, 2ull, 15257ull,
+      976448ull, 0ull, 3515294ull, 4222073ull, 0ull, 146422ull,
+      236785ull, 37886ull, 0ull, 0ull, 211831ull, 8739ull,
+      61007ull, 0ull, 312146ull, 414015ull, 92164ull, 13336ull,
+      191520ull, 190253ull, 74713ull, 4489ull, 152680ull, 274671ull,
+      0ull, 0ull, 412512ull, 50092ull, 66415ull, 50729ull}},
+    {"pair/Stream+Bandit",
+     {1771893ull, 1771893ull, 1051148ull, 1ull, 6057086ull, 950272ull,
+      98304ull, 65536ull, 91444ull, 72396ull, 10484ull, 61912ull,
+      507ull, 61405ull, 3929920ull, 0ull, 5479062ull, 6016592ull,
+      0ull, 116959ull, 7089090ull, 273733ull, 68434ull, 0ull,
+      0ull, 68434ull, 0ull, 68434ull, 0ull, 68434ull,
+      4379776ull, 0ull, 6842489ull, 7038092ull, 0ull, 41299ull,
+      507ull, 129839ull, 0ull, 0ull, 96875ull, 371ull,
+      55712ull, 0ull, 59184ull, 107554ull, 32260ull, 33276ull,
+      91485ull, 91444ull, 64443ull, 2474ull, 10484ull, 130346ull,
+      0ull, 0ull, 102051ull, 10484ull, 62137ull, 6078ull}},
+};
+// clang-format on
+
+TEST(SimEquivalence, GoldenStatsBitIdentical) {
+  const auto got = current_snapshots();
+  if (std::getenv("COPERF_PRINT_GOLDEN") != nullptr) {
+    std::cout << "const std::vector<std::pair<std::string, Snapshot>> "
+                 "kGolden = {\n";
+    for (const auto& [name, snap] : got) {
+      std::cout << "    {\"" << name << "\",\n     {";
+      for (std::size_t i = 0; i < snap.size(); ++i) {
+        if (i != 0) std::cout << (i % 6 == 0 ? "ull,\n      " : "ull, ");
+        std::cout << snap[i];
+      }
+      std::cout << "ull}},\n";
+    }
+    std::cout << "};\n";
+    GTEST_SKIP() << "golden table printed, not compared";
+  }
+  ASSERT_EQ(got.size(), kGolden.size())
+      << "scenario list changed -- regenerate the golden table";
+  for (std::size_t s = 0; s < got.size(); ++s) {
+    EXPECT_EQ(got[s].first, kGolden[s].first);
+    ASSERT_EQ(got[s].second.size(), kGolden[s].second.size())
+        << got[s].first;
+    for (std::size_t i = 0; i < got[s].second.size(); ++i)
+      EXPECT_EQ(got[s].second[i], kGolden[s].second[i])
+          << got[s].first << " field #" << i
+          << " -- the hot-path refactor changed simulated behavior";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Run-cache key semantics (fast tier; see CMakeLists test split).
+
+harness::RunOptions cache_test_options() {
+  harness::RunOptions o;
+  o.machine = sim::MachineConfig::scaled();
+  o.size = wl::SizeClass::Tiny;
+  o.threads = 1;
+  o.seed = 77;
+  return o;
+}
+
+TEST(RunCacheKey, KeyCoversEverySimulationInput) {
+  const harness::RunOptions base = cache_test_options();
+  const std::string k = harness::RunCache::solo_key("Stream", base);
+  EXPECT_EQ(k, harness::RunCache::solo_key("Stream", base))
+      << "same options must produce the same key";
+
+  harness::RunOptions seed = base;
+  seed.seed = 78;
+  EXPECT_NE(k, harness::RunCache::solo_key("Stream", seed))
+      << "seed change must miss";
+
+  harness::RunOptions mach = base;
+  mach.machine.l3.size_bytes /= 2;
+  EXPECT_NE(k, harness::RunCache::solo_key("Stream", mach))
+      << "machine-config change must miss";
+
+  harness::RunOptions pf = base;
+  pf.machine.prefetch.l2_stream = false;
+  EXPECT_NE(k, harness::RunCache::solo_key("Stream", pf))
+      << "prefetch-mask change must miss";
+
+  EXPECT_NE(k, harness::RunCache::solo_key("Bandit", base));
+  EXPECT_NE(harness::RunCache::pair_key("Stream", "Bandit", base),
+            harness::RunCache::pair_key("Bandit", "Stream", base))
+      << "fg/bg are not symmetric";
+}
+
+void expect_identical(const harness::RunResult& a, const harness::RunResult& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.threads, b.threads);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.avg_bw_gbs, b.avg_bw_gbs);
+  EXPECT_EQ(a.footprint_bytes, b.footprint_bytes);
+  EXPECT_EQ(a.hit_cycle_limit, b.hit_cycle_limit);
+  Snapshot sa, sb;
+  append(sa, a.stats);
+  append(sb, b.stats);
+  EXPECT_EQ(sa, sb);
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (std::size_t i = 0; i < a.regions.size(); ++i) {
+    EXPECT_EQ(a.regions[i].region, b.regions[i].region);
+    Snapshot ra, rb;
+    append(ra, a.regions[i].stats);
+    append(rb, b.regions[i].stats);
+    EXPECT_EQ(ra, rb);
+  }
+}
+
+TEST(RunCacheKey, HitReturnsIdenticalRunResult) {
+  auto& cache = harness::RunCache::instance();
+  cache.clear();
+  cache.reset_stats();
+  const harness::RunOptions opt = cache_test_options();
+
+  const harness::RunResult first = harness::run_solo("Stream", opt);
+  const auto after_first = cache.stats();
+  EXPECT_EQ(after_first.misses, 1u);
+  EXPECT_EQ(after_first.hits, 0u);
+
+  const harness::RunResult second = harness::run_solo("Stream", opt);
+  const auto after_second = cache.stats();
+  EXPECT_EQ(after_second.misses, 1u) << "second run must not re-simulate";
+  EXPECT_EQ(after_second.hits, 1u);
+  expect_identical(first, second);
+
+  // A different seed is a different simulation.
+  harness::RunOptions other = opt;
+  other.seed = opt.seed + 1;
+  (void)harness::run_solo("Stream", other);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(RunCacheKey, DiskLayerRoundTripsAcrossMemoryClear) {
+  auto& cache = harness::RunCache::instance();
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "coperf_runcache_test")
+          .string();
+  cache.set_disk_dir(dir);
+  cache.clear_disk();
+  cache.clear();
+  cache.reset_stats();
+  const harness::RunOptions opt = cache_test_options();
+
+  const harness::RunResult first = harness::run_solo("Bandit", opt);
+  cache.clear();  // drop memory; the entry must come back from disk
+  const harness::RunResult second = harness::run_solo("Bandit", opt);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  expect_identical(first, second);
+
+  cache.clear_disk();
+  cache.set_disk_dir("");
+  cache.clear();
+}
+
+// ---------------------------------------------------------------------
+// Persistent worker pool (fast tier).
+
+TEST(ParallelPool, RunsEveryIndexOnceAndReusesWorkers) {
+  std::vector<std::atomic<int>> seen(501);
+  harness::parallel_for(seen.size(), 4,
+                        [&](std::size_t i) { seen[i].fetch_add(1); });
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+  const unsigned after_first = harness::pool_size();
+  EXPECT_GE(after_first, 3u) << "pool must hold persistent workers";
+
+  std::atomic<std::size_t> sum{0};
+  harness::parallel_for(1000, 4, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 1000u * 999u / 2);
+  EXPECT_EQ(harness::pool_size(), after_first)
+      << "second sweep must reuse the pool, not spawn a new one";
+}
+
+TEST(ParallelPool, StaticChunksCoverEveryIndex) {
+  std::vector<std::atomic<int>> seen(97);
+  harness::parallel_for(
+      seen.size(), 4, [&](std::size_t i) { seen[i].fetch_add(1); },
+      harness::ParallelSchedule::StaticChunk);
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ParallelPool, ExceptionPropagatesAndStopsTheSweep) {
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(
+      harness::parallel_for(10'000, 4,
+                            [&](std::size_t i) {
+                              if (i == 3) throw std::runtime_error{"boom"};
+                              ran.fetch_add(1);
+                            }),
+      std::runtime_error);
+  EXPECT_LT(ran.load(), 10'000u) << "failed sweep must stop claiming work";
+}
+
+}  // namespace
+}  // namespace coperf
