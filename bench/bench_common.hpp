@@ -6,10 +6,17 @@
 //   --reps=N      repetitions (median), default 3 like the paper
 //   --threads=N   foreground thread count (default 4, like the paper)
 //   --csv         append machine-readable CSV after the table
+//   --json        append machine-readable JSON after the table
+//                 (backed by harness::report::to_json)
 //   --subset=A,B  restrict matrix-style benches to named workloads
 //   --size=S      explicit input size (tiny|small|native), overrides
 //                 the --quick/--native default
+//
+// Malformed flag values (--reps=abc, --threads=) are rejected with a
+// clear diagnostic and exit code 2 instead of an uncaught exception.
 #pragma once
+
+#include <unistd.h>
 
 #include <cstdint>
 #include <cstring>
@@ -26,6 +33,7 @@ struct BenchArgs {
   bool quick = false;
   bool native = false;
   bool csv = false;
+  bool json = false;
   unsigned reps = 3;
   unsigned threads = 4;
   /// Workload names from --subset=A,B,... (empty = bench default).
@@ -49,6 +57,11 @@ struct BenchArgs {
     o.size = size();
     o.threads = threads;
     return o;
+  }
+
+  /// A plan seeded with this bench's options, ready for add_*() calls.
+  harness::ExperimentPlan plan() const {
+    return harness::ExperimentPlan{run_options()};
   }
 
   Session session() const { return Session{machine(), size()}; }
@@ -77,6 +90,21 @@ inline wl::SizeClass parse_size(const std::string& s) {
   std::exit(2);
 }
 
+/// Strict non-negative integer parse: the whole value must be digits.
+/// `--reps=abc`, `--threads=`, and out-of-range values exit with a
+/// diagnostic instead of throwing std::invalid_argument out of main.
+inline unsigned parse_unsigned(const std::string& flag,
+                               const std::string& value) {
+  bool ok = !value.empty() && value.size() <= 9;
+  for (const char c : value) ok = ok && c >= '0' && c <= '9';
+  if (!ok) {
+    std::cerr << "bad " << flag << "=" << (value.empty() ? "<empty>" : value)
+              << " (expected a non-negative integer)\n";
+    std::exit(2);
+  }
+  return static_cast<unsigned>(std::stoul(value));
+}
+
 /// `subset_supported`: benches that cannot restrict their workload list
 /// must leave this false so --subset is rejected instead of silently
 /// ignored.
@@ -91,10 +119,12 @@ inline BenchArgs parse_args(int argc, char** argv,
       a.native = true;
     } else if (arg == "--csv") {
       a.csv = true;
+    } else if (arg == "--json") {
+      a.json = true;
     } else if (arg.rfind("--reps=", 0) == 0) {
-      a.reps = static_cast<unsigned>(std::stoul(arg.substr(7)));
+      a.reps = parse_unsigned("--reps", arg.substr(7));
     } else if (arg.rfind("--threads=", 0) == 0) {
-      a.threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
+      a.threads = parse_unsigned("--threads", arg.substr(10));
     } else if (arg.rfind("--subset=", 0) == 0) {
       if (!subset_supported) {
         std::cerr << "this bench does not support --subset\n";
@@ -110,7 +140,7 @@ inline BenchArgs parse_args(int argc, char** argv,
     } else if (arg.rfind("--size=", 0) == 0) {
       a.size_override = parse_size(arg.substr(7));
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "flags: --quick --native --csv --reps=N --threads=N"
+      std::cout << "flags: --quick --native --csv --json --reps=N --threads=N"
                    " --size=tiny|small|native"
                 << (subset_supported ? " --subset=A,B,..." : "") << "\n";
       std::exit(0);
@@ -138,6 +168,23 @@ inline void print_config(const BenchArgs& a, const std::string& what) {
             << " rep(s), " << a.threads << " threads";
   if (!a.subset.empty()) std::cout << ", subset of " << a.subset.size();
   std::cout << "\n\n";
+}
+
+/// Progress reporter for plan execution. On a terminal the line
+/// updates in place; piped (CI logs) it prints every ~10th milestone.
+inline harness::ExperimentPlan::Progress plan_progress() {
+  const bool tty = ::isatty(2) != 0;
+  return [tty](std::size_t done, std::size_t total, const harness::Trial&) {
+    if (total < 8) return;
+    if (tty) {
+      std::cerr << "\r  trial " << done << "/" << total
+                << (done == total ? "\n" : "") << std::flush;
+      return;
+    }
+    const std::size_t step = total < 10 ? 1 : total / 10;
+    if (done % step == 0 || done == total)
+      std::cerr << "  trial " << done << "/" << total << "\n";
+  };
 }
 
 }  // namespace coperf::bench

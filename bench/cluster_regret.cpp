@@ -1,8 +1,13 @@
 // Cluster placement regret: what prediction quality buys an online
 // scheduler, and what online refinement buys on top.
 //
-// 1. Measure the ground-truth co-run matrix on a subset (default: the
-//    8-workload Tiny set predictor_accuracy uses).
+// 1. Build ONE plan for the ground truth: the co-run matrix on a
+//    subset (default: the 8-workload Tiny set predictor_accuracy
+//    uses) plus the solo profiles, deduplicated so each unique trial
+//    simulates once -- and served from the content-addressed RunCache
+//    when available, so repeated regret runs (and earlier
+//    predictor_accuracy / fig5 invocations with COPERF_RUN_CACHE_DIR
+//    set) stop re-simulating solos and pairs.
 // 2. Build the analytic predicted matrix from solo signatures, and
 //    distill it into the trainable models (kNN, least squares) so they
 //    can absorb observations.
@@ -16,6 +21,7 @@
 #include "bench_common.hpp"
 #include "cluster/cluster.hpp"
 #include "harness/report.hpp"
+#include "harness/runcache.hpp"
 #include "predict/predicted_matrix.hpp"
 
 int main(int argc, char** argv) try {
@@ -29,20 +35,32 @@ int main(int argc, char** argv) try {
     subset = {"Stream", "Bandit", "G-PR", "CIFAR", "fotonik3d",
               "swaptions", "IRSmk", "blackscholes"};
 
-  harness::MatrixOptions mo;
-  mo.run = args.run_options();
-  mo.reps = args.effective_reps();
-  mo.subset = subset;
+  const unsigned reps = args.effective_reps();
+  harness::RunCache& cache = harness::RunCache::instance();
+  cache.reset_stats();
 
-  std::cout << "collecting " << subset.size() << " solo signatures...\n";
-  const auto sigs =
-      predict::collect_signatures(subset, mo.run, args.effective_reps());
-  for (const auto& s : sigs) mo.solo_cycles.push_back(s.solo_cycles);
+  harness::MatrixSpec mspec{subset, reps, {}};
+  harness::ExperimentPlan plan = args.plan();
+  plan.add_matrix(mspec);
+  std::cout << "ground truth: " << subset.size() << " solos + "
+            << subset.size() << "x" << subset.size() << " co-runs, "
+            << plan.trial_count() << " unique trials ("
+            << plan.residue_count() << " to simulate, rest cached)\n";
+  const harness::ResultSet rs = plan.execute(0, bench::plan_progress());
 
-  std::cout << "measuring the " << subset.size() << "x" << subset.size()
-            << " ground-truth matrix (" << subset.size() * subset.size()
-            << " co-runs)...\n\n";
-  const harness::CorunMatrix truth = harness::corun_matrix(mo);
+  const auto cstats = cache.stats();
+  std::cout << "run cache: " << cstats.misses << " simulated, "
+            << cstats.hits << " memory hits, " << cstats.disk_hits
+            << " disk hits";
+  if (cache.disk_dir().empty())
+    std::cout << " (set COPERF_RUN_CACHE_DIR to reuse across invocations)";
+  std::cout << "\n\n";
+
+  std::vector<predict::WorkloadSignature> sigs;
+  for (const auto& w : subset)
+    sigs.push_back(predict::WorkloadSignature::from(
+        rs.solo({w, args.threads, reps}), args.machine()));
+  const harness::CorunMatrix truth = rs.matrix(mspec);
 
   const predict::BandwidthContentionModel analytic;
   const harness::CorunMatrix predicted = predict::predicted_matrix(sigs, analytic);

@@ -1,11 +1,12 @@
 // Fig. 2 (a-f): normalized speedup for 1..8 threads, per suite.
 // Regenerates the paper's six speedup panels as per-suite tables.
+// One plan holds every sweep; trials shared with other experiments
+// (e.g. the 4-thread solos of a matrix) are deduplicated for free.
 #include "bench_common.hpp"
-#include "harness/parallel.hpp"
 #include "harness/report.hpp"
 #include "wl/registry.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace coperf;
   const auto args = bench::parse_args(argc, argv);
   bench::print_config(args, "Fig. 2 -- thread scalability, 1..8 threads");
@@ -14,37 +15,28 @@ int main(int argc, char** argv) {
                           "PARSEC",     "SPEC CPU2017", "HPC"};
   const char* panel[] = {"(a)", "(b)", "(c)", "(d)", "(e)", "(f)"};
 
-  harness::RunOptions opt = args.run_options();
-  // All sweeps are independent simulations: fan out across host threads.
-  std::vector<std::vector<const wl::WorkloadInfo*>> members;
-  std::size_t total = 0;
-  for (const char* suite : suites) {
-    members.push_back(wl::Registry::instance().suite(suite));
-    total += members.back().size();
-  }
-  std::vector<std::vector<harness::ScalabilityResult>> results(
-      std::size(suites));
-  for (auto i = std::size_t{0}; i < members.size(); ++i)
-    results[i].resize(members[i].size());
-  std::vector<std::pair<std::size_t, std::size_t>> flat;
-  for (std::size_t s = 0; s < members.size(); ++s)
-    for (std::size_t w = 0; w < members[s].size(); ++w) flat.emplace_back(s, w);
-  harness::parallel_for(flat.size(), 0, [&](std::size_t idx) {
-    const auto [s, w] = flat[idx];
-    results[s][w] = harness::scalability_sweep(members[s][w]->name, opt, 8);
-  });
+  harness::ExperimentPlan plan = args.plan();
+  std::vector<std::vector<harness::SweepSpec>> specs(std::size(suites));
+  for (std::size_t s = 0; s < std::size(suites); ++s)
+    for (const auto* w : wl::Registry::instance().suite(suites[s])) {
+      specs[s].push_back(harness::SweepSpec{w->name, 8});
+      plan.add_scalability(specs[s].back());
+    }
+  const harness::ResultSet rs = plan.execute(0, bench::plan_progress());
 
-  std::string csv = "suite,workload,threads,speedup\n";
+  std::vector<harness::ScalabilityResult> all;
   for (std::size_t s = 0; s < std::size(suites); ++s) {
     std::cout << "Fig. 2" << panel[s] << " " << suites[s] << "\n";
-    for (const auto& r : results[s])
-      for (std::size_t i = 0; i < r.threads.size(); ++i)
-        csv += std::string{suites[s]} + "," + r.workload + "," +
-               std::to_string(r.threads[i]) + "," +
-               harness::Table::fmt(r.speedup[i]) + "\n";
-    print_scalability(std::cout, results[s]);
+    std::vector<harness::ScalabilityResult> results;
+    for (const auto& spec : specs[s]) results.push_back(rs.scalability(spec));
+    print_scalability(std::cout, results);
     std::cout << "\n";
+    all.insert(all.end(), results.begin(), results.end());
   }
-  if (args.csv) std::cout << csv;
+  if (args.csv) std::cout << harness::report::to_csv(all);
+  if (args.json) std::cout << harness::report::to_json(all) << "\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -2,36 +2,36 @@
 // hardware prefetchers enabled vs. disabled (MSR 0x1A4 sweep), at 4
 // threads. Values < 1 mean the application depends on prefetchers.
 #include "bench_common.hpp"
-#include "harness/parallel.hpp"
-#include "harness/prefetch_study.hpp"
 #include "harness/report.hpp"
 #include "wl/registry.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace coperf;
   const auto args = bench::parse_args(argc, argv);
   bench::print_config(args, "Fig. 4 -- prefetch sensitivity (t_on / t_off)");
 
-  harness::Table table{{"suite", "workload", "speedup", "bw_on", "bw_off"}};
-  std::string csv = "suite,workload,speedup_ratio\n";
-  harness::RunOptions opt = args.run_options();
   const auto workloads = wl::Registry::instance().all();
-  std::vector<harness::PrefetchSensitivity> sens(workloads.size());
-  harness::parallel_for(workloads.size(), 0, [&](std::size_t i) {
-    sens[i] = harness::prefetch_sensitivity(workloads[i]->name, opt);
-  });
-  for (std::size_t i = 0; i < workloads.size(); ++i) {
-    const auto* w = workloads[i];
-    const auto& s = sens[i];
+  harness::ExperimentPlan plan = args.plan();
+  for (const auto* w : workloads)
+    plan.add_prefetch({w->name, args.threads});
+  const harness::ResultSet rs = plan.execute(0, bench::plan_progress());
+
+  harness::Table table{{"suite", "workload", "speedup", "bw_on", "bw_off"}};
+  std::vector<harness::PrefetchSensitivity> sens;
+  for (const auto* w : workloads) {
+    sens.push_back(rs.prefetch({w->name, args.threads}));
+    const auto& s = sens.back();
     table.add_row({w->suite, w->name, harness::Table::fmt(s.speedup_ratio),
                    harness::Table::fmt(s.bw_on_gbs, 1),
                    harness::Table::fmt(s.bw_off_gbs, 1)});
-    csv += w->suite + "," + w->name + "," +
-           harness::Table::fmt(s.speedup_ratio, 3) + "\n";
   }
   table.print(std::cout);
   std::cout << "\n(paper: graph + CNTK apps ~1.0 [insensitive]; "
                "streamcluster, HPC apps, fotonik3d ~0.85 [sensitive])\n";
-  if (args.csv) std::cout << "\n" << csv;
+  if (args.csv) std::cout << "\n" << harness::report::to_csv(sens);
+  if (args.json) std::cout << "\n" << harness::report::to_json(sens) << "\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

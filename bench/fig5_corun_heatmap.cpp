@@ -4,6 +4,7 @@
 // Harmony / Victim-Offender / Both-Victim classification summary.
 #include "bench_common.hpp"
 #include "harness/report.hpp"
+#include "harness/runcache.hpp"
 
 int main(int argc, char** argv) try {
   using namespace coperf;
@@ -11,11 +12,13 @@ int main(int argc, char** argv) try {
   bench::print_config(args,
                       "Fig. 5 -- 25x25 co-run normalized-runtime heat map");
 
-  harness::MatrixOptions mo;
-  mo.run = args.run_options();
-  mo.reps = args.effective_reps();
-  mo.subset = args.subset;
-  const harness::CorunMatrix m = harness::corun_matrix(mo);
+  harness::MatrixSpec spec{args.subset, args.effective_reps(), {}};
+  harness::ExperimentPlan plan = args.plan();
+  plan.add_matrix(spec);
+  std::cout << "plan: " << plan.trial_count() << " unique trials, "
+            << plan.residue_count() << " to simulate\n";
+  const harness::ResultSet rs = plan.execute(0, bench::plan_progress());
+  const harness::CorunMatrix m = rs.matrix(spec);
 
   harness::print_heatmap(std::cout, m);
 
@@ -51,7 +54,8 @@ int main(int argc, char** argv) try {
                 << ")\n";
   }
 
-  if (args.csv) std::cout << "\n" << harness::matrix_to_csv(m);
+  if (args.csv) std::cout << "\n" << harness::report::to_csv(m);
+  if (args.json) std::cout << "\n" << harness::report::to_json(m) << "\n";
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

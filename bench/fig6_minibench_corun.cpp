@@ -1,8 +1,8 @@
 // Fig. 6 (a, b): normalized speedup of all 25 applications co-running
 // with the two mini-benchmarks, Bandit and Stream (each as a 4-thread
 // background stressor). Speedup = t_solo / t_corun (lower = worse).
+// One plan: a solo spec and two pair groups per application.
 #include "bench_common.hpp"
-#include "harness/parallel.hpp"
 #include "harness/report.hpp"
 #include "wl/registry.hpp"
 
@@ -11,9 +11,6 @@ int main(int argc, char** argv) try {
   const auto args = bench::parse_args(argc, argv, /*subset_supported=*/true);
   bench::print_config(args, "Fig. 6 -- co-run with Bandit / Stream");
 
-  harness::Table table{{"suite", "workload", "vs Bandit", "vs Stream"}};
-  std::string csv = "suite,workload,speedup_vs_bandit,speedup_vs_stream\n";
-  const harness::RunOptions opt = args.run_options();
   auto workloads = wl::Registry::instance().applications();
   if (!args.subset.empty()) {
     std::vector<const wl::WorkloadInfo*> picked;
@@ -21,26 +18,33 @@ int main(int argc, char** argv) try {
       picked.push_back(&wl::Registry::instance().at(name));
     workloads = std::move(picked);
   }
-  std::vector<double> vs_bandit(workloads.size()), vs_stream(workloads.size());
-  harness::parallel_for(workloads.size(), 0, [&](std::size_t i) {
-    const auto* w = workloads[i];
-    const auto solo =
-        harness::run_solo_median(w->name, opt, args.effective_reps());
-    const auto bandit = harness::run_pair_median(w->name, "Bandit", opt,
-                                                 args.effective_reps());
-    const auto stream = harness::run_pair_median(w->name, "Stream", opt,
-                                                 args.effective_reps());
-    vs_bandit[i] = static_cast<double>(solo.cycles) /
-                   static_cast<double>(bandit.fg.cycles);
-    vs_stream[i] = static_cast<double>(solo.cycles) /
-                   static_cast<double>(stream.fg.cycles);
-  });
+
+  const unsigned reps = args.effective_reps();
+  const harness::RunOptions opt = args.run_options();
+  auto vs = [&](const std::string& fg, const std::string& bg) {
+    return harness::GroupSpec::pair(fg, bg, opt.threads, opt.bg_threads);
+  };
+  harness::ExperimentPlan plan = args.plan();
+  for (const auto* w : workloads) {
+    plan.add_solo({w->name, args.threads, reps});
+    plan.add_group(vs(w->name, "Bandit"), reps);
+    plan.add_group(vs(w->name, "Stream"), reps);
+  }
+  const harness::ResultSet rs = plan.execute(0, bench::plan_progress());
+
+  harness::Table table{{"suite", "workload", "vs Bandit", "vs Stream"}};
+  std::string csv = "suite,workload,speedup_vs_bandit,speedup_vs_stream\n";
   double sum_bandit = 0, sum_stream = 0, gem_stream = 0;
   unsigned count = 0, gem_count = 0;
-  for (std::size_t i = 0; i < workloads.size(); ++i) {
-    const auto* w = workloads[i];
-    const double sb = vs_bandit[i];
-    const double ss = vs_stream[i];
+  for (const auto* w : workloads) {
+    const double solo =
+        static_cast<double>(rs.solo({w->name, args.threads, reps}).cycles);
+    const double sb =
+        solo / static_cast<double>(
+                   rs.group(vs(w->name, "Bandit"), reps).members[0].cycles);
+    const double ss =
+        solo / static_cast<double>(
+                   rs.group(vs(w->name, "Stream"), reps).members[0].cycles);
     table.add_row({w->suite, w->name, harness::Table::fmt(sb),
                    harness::Table::fmt(ss)});
     csv += w->suite + "," + w->name + "," + harness::Table::fmt(sb, 3) + "," +

@@ -15,41 +15,53 @@ coperf::perf::RegionProfile hot_region(
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace coperf;
   const auto args = bench::parse_args(argc, argv);
   bench::print_config(args,
                       "Fig. 7 -- Gemini hot-region metrics, solo vs Stream");
 
   const char* apps[] = {"G-SSSP", "G-PR", "G-CC", "G-BC", "G-BFS"};
+  const unsigned reps = args.effective_reps();
+  const harness::RunOptions opt = args.run_options();
+
+  harness::ExperimentPlan plan = args.plan();
+  auto vs_stream = [&](const char* app) {
+    return harness::GroupSpec::pair(app, "Stream", opt.threads,
+                                    opt.bg_threads);
+  };
+  for (const char* app : apps) {
+    plan.add_solo({app, args.threads, reps});
+    plan.add_group(vs_stream(app), reps);
+  }
+  const harness::ResultSet rs = plan.execute(0, bench::plan_progress());
+
   harness::Table table{{"workload", "region", "CPI solo", "CPI +Stream",
                         "PCP solo", "PCP +Stream", "MPKI solo", "MPKI +Stream",
                         "LL solo", "LL +Stream"}};
   std::string csv =
       "workload,cpi_solo,cpi_stream,pcp_solo,pcp_stream,mpki_solo,"
       "mpki_stream,ll_solo,ll_stream\n";
-  const harness::RunOptions opt = args.run_options();
   using harness::Table;
   for (const char* app : apps) {
-    const auto solo = harness::run_solo_median(app, opt, args.effective_reps());
-    const auto pair =
-        harness::run_pair_median(app, "Stream", opt, args.effective_reps());
-    const auto rs = hot_region(solo.regions);
-    const auto rp = hot_region(pair.fg.regions);
-    table.add_row({app, rs.region, Table::fmt(rs.metrics.cpi),
+    const auto solo = rs.solo({app, args.threads, reps});
+    const auto pair = rs.group(vs_stream(app), reps);
+    const auto rsolo = hot_region(solo.regions);
+    const auto rp = hot_region(pair.members[0].regions);
+    table.add_row({app, rsolo.region, Table::fmt(rsolo.metrics.cpi),
                    Table::fmt(rp.metrics.cpi),
-                   Table::fmt(rs.metrics.l2_pcp * 100, 0) + "%",
+                   Table::fmt(rsolo.metrics.l2_pcp * 100, 0) + "%",
                    Table::fmt(rp.metrics.l2_pcp * 100, 0) + "%",
-                   Table::fmt(rs.metrics.llc_mpki),
-                   Table::fmt(rp.metrics.llc_mpki), Table::fmt(rs.metrics.ll),
-                   Table::fmt(rp.metrics.ll)});
-    csv += std::string{app} + "," + Table::fmt(rs.metrics.cpi, 3) + "," +
+                   Table::fmt(rsolo.metrics.llc_mpki),
+                   Table::fmt(rp.metrics.llc_mpki),
+                   Table::fmt(rsolo.metrics.ll), Table::fmt(rp.metrics.ll)});
+    csv += std::string{app} + "," + Table::fmt(rsolo.metrics.cpi, 3) + "," +
            Table::fmt(rp.metrics.cpi, 3) + "," +
-           Table::fmt(rs.metrics.l2_pcp, 3) + "," +
+           Table::fmt(rsolo.metrics.l2_pcp, 3) + "," +
            Table::fmt(rp.metrics.l2_pcp, 3) + "," +
-           Table::fmt(rs.metrics.llc_mpki, 3) + "," +
+           Table::fmt(rsolo.metrics.llc_mpki, 3) + "," +
            Table::fmt(rp.metrics.llc_mpki, 3) + "," +
-           Table::fmt(rs.metrics.ll, 3) + "," + Table::fmt(rp.metrics.ll, 3) +
+           Table::fmt(rsolo.metrics.ll, 3) + "," + Table::fmt(rp.metrics.ll, 3) +
            "\n";
   }
   table.print(std::cout);
@@ -57,4 +69,7 @@ int main(int argc, char** argv) {
                "to 93% for G-PR, LL >x2)\n";
   if (args.csv) std::cout << "\n" << csv;
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -1,7 +1,11 @@
 // Predictor accuracy: the O(N) -> O(N^2) story, end to end.
 //
-// 1. Measure the co-run matrix on a subset (the expensive ground truth).
-// 2. Collect N solo signatures (the cheap O(N) pass).
+// 1. Build ONE plan holding the measured co-run matrix (the expensive
+//    ground truth) and the N solo profiles -- the solos double as the
+//    matrix's baselines, so the plan simulates each unique trial
+//    exactly once.
+// 2. Derive N solo signatures from the plan's solo results (the cheap
+//    O(N) pass).
 // 3. Predict the matrix with the analytic bandwidth model and, via
 //    leave-one-workload-out, with the data-driven kNN and least-squares
 //    models.
@@ -28,22 +32,21 @@ int main(int argc, char** argv) try {
     subset = {"Stream", "Bandit", "G-PR", "CIFAR", "fotonik3d",
               "swaptions", "IRSmk", "blackscholes"};
 
-  harness::MatrixOptions mo;
-  mo.run = args.run_options();
-  mo.reps = args.effective_reps();
-  mo.subset = subset;
+  const unsigned reps = args.effective_reps();
+  harness::MatrixSpec mspec{subset, reps, {}};
+  harness::ExperimentPlan plan = args.plan();
+  plan.add_matrix(mspec);  // solo baselines + all fg x bg cells
+  std::cout << "plan: " << subset.size() << " solos + " << subset.size() << "x"
+            << subset.size() << " co-runs = " << plan.trial_count()
+            << " unique trials (" << plan.residue_count()
+            << " not yet cached)\n\n";
+  const harness::ResultSet rs = plan.execute(0, bench::plan_progress());
 
-  // The signatures' solo runs double as the matrix's baselines, so each
-  // workload is simulated alone exactly once.
-  std::cout << "collecting " << subset.size() << " solo signatures...\n";
-  const auto sigs =
-      predict::collect_signatures(subset, mo.run, args.effective_reps());
-  for (const auto& s : sigs) mo.solo_cycles.push_back(s.solo_cycles);
-
-  std::cout << "measuring the " << subset.size() << "x" << subset.size()
-            << " ground-truth matrix (" << subset.size() * subset.size()
-            << " co-runs)...\n\n";
-  const harness::CorunMatrix measured = harness::corun_matrix(mo);
+  std::vector<predict::WorkloadSignature> sigs;
+  for (const auto& w : subset)
+    sigs.push_back(predict::WorkloadSignature::from(
+        rs.solo({w, args.threads, reps}), args.machine()));
+  const harness::CorunMatrix measured = rs.matrix(mspec);
 
   std::string csv = "model,mae,rmse,spearman,class_agreement,regret\n";
   const auto report = [&](const std::string& name,
@@ -97,6 +100,8 @@ int main(int argc, char** argv) try {
             << " co-runs; predictor = " << subset.size()
             << " solo runs + inference\n";
   if (args.csv) std::cout << "\n" << csv;
+  if (args.json)
+    std::cout << "\n" << harness::report::to_json(measured) << "\n";
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

@@ -38,17 +38,8 @@ double now_seconds() {
 int main(int argc, char** argv) try {
   using namespace coperf;
 
-  // Strip --json before the shared flag parser sees it.
-  bool json = false;
-  std::vector<char*> args_v;
-  for (int i = 0; i < argc; ++i) {
-    if (std::string_view{argv[i]} == "--json")
-      json = true;
-    else
-      args_v.push_back(argv[i]);
-  }
-  auto args = bench::parse_args(static_cast<int>(args_v.size()), args_v.data(),
-                                /*subset_supported=*/true);
+  auto args = bench::parse_args(argc, argv, /*subset_supported=*/true);
+  const bool json = args.json;
   // This bench defaults to the 8-workload Tiny configuration the perf
   // trajectory tracks (override with --size/--subset as usual).
   if (!args.size_override && !args.native) args.size_override = wl::SizeClass::Tiny;

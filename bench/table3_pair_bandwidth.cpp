@@ -4,7 +4,7 @@
 #include "bench_common.hpp"
 #include "harness/report.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace coperf;
   const auto args = bench::parse_args(argc, argv);
   bench::print_config(args, "Table III -- pair bandwidth (GB/s)");
@@ -22,17 +22,26 @@ int main(int argc, char** argv) {
       {"G-CC", "CIFAR", "18.6 / 17.8 / 18.0"},
   };
 
+  const unsigned reps = args.effective_reps();
+  const harness::RunOptions opt = args.run_options();
+  auto group_of = [&](const Pair& p) {
+    return harness::GroupSpec::pair(p.a, p.b, opt.threads, opt.bg_threads);
+  };
+  harness::ExperimentPlan plan = args.plan();
+  for (const auto& p : pairs) {
+    plan.add_solo({p.a, args.threads, reps});
+    plan.add_solo({p.b, args.threads, reps});
+    plan.add_group(group_of(p), reps);
+  }
+  const harness::ResultSet rs = plan.execute(0, bench::plan_progress());
+
   harness::Table table{{"pair", "co-run BW", "A solo", "B solo", "solo sum",
                         "paper (pair/A/B)"}};
   std::string csv = "a,b,pair_bw,a_solo,b_solo\n";
-  const harness::RunOptions opt = args.run_options();
   for (const auto& p : pairs) {
-    const auto a_solo =
-        harness::run_solo_median(p.a, opt, args.effective_reps());
-    const auto b_solo =
-        harness::run_solo_median(p.b, opt, args.effective_reps());
-    const auto pair =
-        harness::run_pair_median(p.a, p.b, opt, args.effective_reps());
+    const auto a_solo = rs.solo({p.a, args.threads, reps});
+    const auto b_solo = rs.solo({p.b, args.threads, reps});
+    const auto pair = rs.group(group_of(p), reps);
     table.add_row({std::string{p.a} + " + " + p.b,
                    harness::Table::fmt(pair.total_avg_bw_gbs, 1),
                    harness::Table::fmt(a_solo.avg_bw_gbs, 1),
@@ -49,4 +58,7 @@ int main(int argc, char** argv) {
                "-- the shared channel saturates)\n";
   if (args.csv) std::cout << "\n" << csv;
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -16,7 +16,7 @@ coperf::perf::RegionProfile find_region(
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace coperf;
   const auto args = bench::parse_args(argc, argv);
   bench::print_config(args, "Table IV -- P-PR(gather) / fotonik3d(UUS)");
@@ -31,21 +31,30 @@ int main(int argc, char** argv) {
       {"fotonik3d", "UUS", {"IRSmk", "CIFAR", "G-SSSP"}},
   };
 
+  const unsigned reps = args.effective_reps();
   const harness::RunOptions opt = args.run_options();
+  auto vs = [&](const char* app, const char* bg) {
+    return harness::GroupSpec::pair(app, bg, opt.threads, opt.bg_threads);
+  };
+  harness::ExperimentPlan plan = args.plan();
+  for (const auto& s : subjects) {
+    plan.add_solo({s.app, args.threads, reps});
+    for (const char* bg : s.co_runners) plan.add_group(vs(s.app, bg), reps);
+  }
+  const harness::ResultSet results = plan.execute(0, bench::plan_progress());
+
   using harness::Table;
   for (const auto& s : subjects) {
     Table table{{"co-runner", "CPI", "LLC MPKI", "L2_PCP", "LL"}};
-    const auto solo =
-        harness::run_solo_median(s.app, opt, args.effective_reps());
-    const auto rs = find_region(solo.regions, s.region);
-    table.add_row({"(none)", Table::fmt(rs.metrics.cpi),
-                   Table::fmt(rs.metrics.llc_mpki),
-                   Table::fmt(rs.metrics.l2_pcp * 100, 0) + "%",
-                   Table::fmt(rs.metrics.ll)});
+    const auto solo = results.solo({s.app, args.threads, reps});
+    const auto rsolo = find_region(solo.regions, s.region);
+    table.add_row({"(none)", Table::fmt(rsolo.metrics.cpi),
+                   Table::fmt(rsolo.metrics.llc_mpki),
+                   Table::fmt(rsolo.metrics.l2_pcp * 100, 0) + "%",
+                   Table::fmt(rsolo.metrics.ll)});
     for (const char* bg : s.co_runners) {
-      const auto pair =
-          harness::run_pair_median(s.app, bg, opt, args.effective_reps());
-      const auto rp = find_region(pair.fg.regions, s.region);
+      const auto pair = results.group(vs(s.app, bg), reps);
+      const auto rp = find_region(pair.members[0].regions, s.region);
       table.add_row({std::string{"with "} + bg, Table::fmt(rp.metrics.cpi),
                      Table::fmt(rp.metrics.llc_mpki),
                      Table::fmt(rp.metrics.l2_pcp * 100, 0) + "%",
@@ -61,4 +70,7 @@ int main(int argc, char** argv) {
          " but unchanged under G-SSSP; fotonik3d LLC MPKI ~21 and stable\n"
          " across co-runners -- a bandwidth victim, not a cache victim)\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

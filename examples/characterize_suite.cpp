@@ -1,6 +1,9 @@
 // Suite characterization: the paper's sole-run methodology (Section IV)
 // over one whole application suite -- thread scalability class,
-// bandwidth at 1/4/8 threads, and prefetcher sensitivity per app.
+// bandwidth at 1/4/8 threads, and prefetcher sensitivity per app --
+// expressed as ONE experiment plan. The scalability sweep's 4- and
+// 8-thread solos double as the bandwidth samples (the plan dedupes
+// them), and everything executes in a single parallel pass.
 //
 // Usage: characterize_suite [suite]
 //   suites: GeminiGraph PowerGraph CNTK PARSEC HPC "SPEC CPU2017"
@@ -24,12 +27,21 @@ int main(int argc, char** argv) {
   std::cout << "characterizing suite " << suite << " ("
             << members.size() << " workloads)\n\n";
 
+  auto plan = session.plan();
+  for (const auto* w : members) {
+    plan.add_scalability({w->name, 8});  // includes the 1/4/8-thread solos
+    plan.add_prefetch({w->name, 4});
+  }
+  std::cout << "plan: " << plan.trial_count() << " unique trials ("
+            << plan.residue_count() << " to simulate)\n\n";
+  const auto results = plan.execute();
+
   coperf::harness::Table table{{"workload", "S(2)", "S(4)", "S(8)", "class",
                                 "BW@1T", "BW@4T", "BW@8T", "prefetch"}};
   using coperf::harness::Table;
   for (const auto* w : members) {
-    const auto scal = session.scalability(w->name, 8);
-    const auto pf = session.prefetch_sensitivity(w->name);
+    const auto scal = results.scalability({w->name, 8});
+    const auto pf = results.prefetch({w->name, 4});
     table.add_row({w->name, Table::fmt(scal.speedup[1]),
                    Table::fmt(scal.speedup[3]), Table::fmt(scal.speedup[7]),
                    coperf::harness::to_string(scal.cls),

@@ -36,6 +36,14 @@ harness::CorunResult Session::run_pair(std::string_view fg,
   return harness::run_pair(fg, bg, o);
 }
 
+harness::GroupResult Session::run_group(const harness::GroupSpec& spec) const {
+  return harness::run_group(spec, base_);
+}
+
+harness::ExperimentPlan Session::plan() const {
+  return harness::ExperimentPlan{base_};
+}
+
 harness::ScalabilityResult Session::scalability(std::string_view workload,
                                                 unsigned max_threads) const {
   return harness::scalability_sweep(workload, base_, max_threads);

@@ -6,9 +6,24 @@
 //   coperf::Session s;                           // scaled machine, Small inputs
 //   auto solo  = s.run_solo("G-PR");             // Section IV sole-run
 //   auto pair  = s.run_pair("G-CC", "fotonik3d"); // Section V co-run
+//   auto trio  = s.run_group(harness::GroupSpec{{ // N-way co-run group
+//       {"G-CC", 2}, {"CIFAR", 2}, {"Stream", 4, {}, true}}});
 //   auto scal  = s.scalability("ATIS");          // Fig. 2 sweep
 //   auto pf    = s.prefetch_sensitivity("IRSmk"); // Fig. 4 experiment
 //   auto matrix = s.corun_matrix();              // Fig. 5, all 625 pairs
+//
+// For experiment *sets*, build a plan instead of looping blocking
+// calls: plan() collects specs (solos, groups, sweeps, matrices),
+// dedupes the trials they expand to -- structurally and against the
+// content-addressed run cache -- executes the residue in parallel,
+// and returns results addressable by spec:
+//
+//   auto plan = s.plan();
+//   harness::MatrixSpec fig5{{"G-PR", "CIFAR", "Stream"}, 3};
+//   plan.add_matrix(fig5);
+//   plan.add_scalability({"ATIS", 8});
+//   auto results = plan.execute();
+//   auto m = results.matrix(fig5);
 //
 // Every result is deterministic for a given seed; "three repeated
 // runs" are three seeds with the median reported, like the paper.
@@ -19,7 +34,9 @@
 #include <vector>
 
 #include "harness/classify.hpp"
+#include "harness/group.hpp"
 #include "harness/matrix.hpp"
+#include "harness/plan.hpp"
 #include "harness/prefetch_study.hpp"
 #include "harness/runner.hpp"
 #include "harness/scalability.hpp"
@@ -45,6 +62,13 @@ class Session {
                               unsigned threads = 4) const;
   harness::CorunResult run_pair(std::string_view fg, std::string_view bg,
                                 unsigned threads = 4) const;
+  /// N workloads on disjoint core ranges (harness/group.hpp); pairs
+  /// are the 2-member special case.
+  harness::GroupResult run_group(const harness::GroupSpec& spec) const;
+
+  /// An empty plan seeded with this session's options; add specs, then
+  /// execute() once.
+  harness::ExperimentPlan plan() const;
 
   harness::ScalabilityResult scalability(std::string_view workload,
                                          unsigned max_threads = 8) const;

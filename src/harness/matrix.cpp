@@ -1,14 +1,6 @@
 #include "harness/matrix.hpp"
 
-#include <atomic>
-#include <exception>
-#include <functional>
-#include <mutex>
-#include <stdexcept>
-#include <thread>
-
-#include "harness/parallel.hpp"
-#include "wl/registry.hpp"
+#include "harness/plan.hpp"
 
 namespace coperf::harness {
 
@@ -31,50 +23,16 @@ CorunMatrix::ClassCounts CorunMatrix::count_classes() const {
 }
 
 CorunMatrix corun_matrix(const MatrixOptions& opt) {
-  CorunMatrix m;
-  if (opt.subset.empty()) {
-    for (const auto* w : wl::Registry::instance().applications())
-      m.workloads.push_back(w->name);
-  } else {
-    m.workloads = opt.subset;
-    for (const auto& w : m.workloads) (void)wl::Registry::instance().at(w);
-  }
-  const std::size_t n = m.workloads.size();
-  if (n == 0) throw std::logic_error{"corun_matrix: no workloads"};
-
-  // Solo baselines first (median of reps), unless the caller already
-  // measured them.
-  if (!opt.solo_cycles.empty() && opt.solo_cycles.size() != n)
-    throw std::invalid_argument{
-        "corun_matrix: solo_cycles size does not match the workload count"};
-  if (opt.solo_cycles.size() == n) {
-    m.solo_cycles = opt.solo_cycles;
-  } else {
-    m.solo_cycles.assign(n, 0);
-    parallel_for(
-        n, opt.host_threads,
-        [&](std::size_t i) {
-          m.solo_cycles[i] =
-              run_solo_median(m.workloads[i], opt.run, opt.reps).cycles;
-        },
-        opt.schedule);
-  }
-
-  // Full fg x bg sweep.
-  m.normalized.assign(n, std::vector<double>(n, 0.0));
-  parallel_for(
-      n * n, opt.host_threads,
-      [&](std::size_t idx) {
-        const std::size_t fg = idx / n;
-        const std::size_t bg = idx % n;
-        const CorunResult r = run_pair_median(m.workloads[fg],
-                                              m.workloads[bg], opt.run,
-                                              opt.reps);
-        m.normalized[fg][bg] = static_cast<double>(r.fg.cycles) /
-                               static_cast<double>(m.solo_cycles[fg]);
-      },
-      opt.schedule);
-  return m;
+  // One plan holds the whole sweep: solo baselines (unless the caller
+  // measured them) and all fg x bg cells, deduplicated against
+  // anything the RunCache already knows.
+  MatrixSpec spec;
+  spec.subset = opt.subset;
+  spec.reps = opt.reps;
+  spec.solo_cycles = opt.solo_cycles;
+  ExperimentPlan plan{opt.run};
+  plan.add_matrix(spec);
+  return plan.execute(opt.host_threads, {}, opt.schedule).matrix(spec);
 }
 
 std::vector<double> corun_row(std::string_view fg,

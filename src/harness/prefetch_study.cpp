@@ -1,28 +1,15 @@
 #include "harness/prefetch_study.hpp"
 
+#include "harness/plan.hpp"
+
 namespace coperf::harness {
 
 PrefetchSensitivity prefetch_sensitivity(std::string_view workload,
                                          const RunOptions& opt) {
-  RunOptions on = opt;
-  on.machine.prefetch = sim::PrefetchMask::all_on();
-  RunOptions off = opt;
-  off.machine.prefetch = sim::PrefetchMask::all_off();
-
-  const RunResult r_on = run_solo(workload, on);
-  const RunResult r_off = run_solo(workload, off);
-
-  PrefetchSensitivity s;
-  s.workload = std::string{workload};
-  s.cycles_on = r_on.cycles;
-  s.cycles_off = r_off.cycles;
-  s.speedup_ratio = r_off.cycles == 0
-                        ? 1.0
-                        : static_cast<double>(r_on.cycles) /
-                              static_cast<double>(r_off.cycles);
-  s.bw_on_gbs = r_on.avg_bw_gbs;
-  s.bw_off_gbs = r_off.avg_bw_gbs;
-  return s;
+  const PrefetchSpec spec{std::string{workload}, opt.threads};
+  ExperimentPlan plan{opt};
+  plan.add_prefetch(spec);
+  return plan.execute().prefetch(spec);
 }
 
 PrefetchAblation prefetch_ablation(std::string_view workload,

@@ -68,15 +68,7 @@ void print_heatmap(std::ostream& os, const CorunMatrix& m) {
   }
 }
 
-std::string matrix_to_csv(const CorunMatrix& m) {
-  std::ostringstream os;
-  os << "foreground,background,normalized_runtime\n";
-  for (std::size_t fg = 0; fg < m.size(); ++fg)
-    for (std::size_t bg = 0; bg < m.size(); ++bg)
-      os << m.workloads[fg] << ',' << m.workloads[bg] << ','
-         << Table::fmt(m.at(fg, bg), 4) << '\n';
-  return os.str();
-}
+std::string matrix_to_csv(const CorunMatrix& m) { return report::to_csv(m); }
 
 void print_scalability(std::ostream& os,
                        const std::vector<ScalabilityResult>& results) {
@@ -94,5 +86,284 @@ void print_scalability(std::ostream& os,
   }
   table.print(os);
 }
+
+namespace report {
+
+namespace {
+
+/// Shortest round-trippable double representation.
+std::string jnum(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+std::string jstr(const std::string& s) {
+  std::string out{'"'};
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void json_metrics(std::ostringstream& os, const perf::Metrics& m) {
+  os << "{\"cpi\": " << jnum(m.cpi) << ", \"ipc\": " << jnum(m.ipc)
+     << ", \"l2_pcp\": " << jnum(m.l2_pcp)
+     << ", \"llc_mpki\": " << jnum(m.llc_mpki)
+     << ", \"l2_mpki\": " << jnum(m.l2_mpki) << ", \"ll\": " << jnum(m.ll)
+     << "}";
+}
+
+void json_run(std::ostringstream& os, const RunResult& r) {
+  os << "{\"workload\": " << jstr(r.workload) << ", \"threads\": " << r.threads
+     << ", \"cycles\": " << r.cycles << ", \"seconds\": " << jnum(r.seconds)
+     << ", \"instructions\": " << r.stats.instructions
+     << ", \"avg_bw_gbs\": " << jnum(r.avg_bw_gbs)
+     << ", \"footprint_bytes\": " << r.footprint_bytes
+     << ", \"hit_cycle_limit\": " << (r.hit_cycle_limit ? "true" : "false")
+     << ", \"metrics\": ";
+  json_metrics(os, r.metrics);
+  os << ", \"regions\": [";
+  bool first = true;
+  for (const auto& reg : r.regions) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"region\": " << jstr(reg.region)
+       << ", \"cycles\": " << reg.stats.cycles << ", \"metrics\": ";
+    json_metrics(os, reg.metrics);
+    os << "}";
+  }
+  os << "]}";
+}
+
+constexpr const char* kRunCsvHeader =
+    "workload,threads,cycles,seconds,instructions,avg_bw_gbs,"
+    "footprint_bytes,hit_cycle_limit,cpi,ipc,llc_mpki,l2_pcp,ll";
+
+void csv_run_row(std::ostringstream& os, const RunResult& r) {
+  os << r.workload << ',' << r.threads << ',' << r.cycles << ','
+     << jnum(r.seconds) << ',' << r.stats.instructions << ','
+     << jnum(r.avg_bw_gbs) << ',' << r.footprint_bytes << ','
+     << (r.hit_cycle_limit ? 1 : 0) << ',' << jnum(r.metrics.cpi) << ','
+     << jnum(r.metrics.ipc) << ',' << jnum(r.metrics.llc_mpki) << ','
+     << jnum(r.metrics.l2_pcp) << ',' << jnum(r.metrics.ll) << '\n';
+}
+
+}  // namespace
+
+std::string to_json(const RunResult& r) {
+  std::ostringstream os;
+  json_run(os, r);
+  return os.str();
+}
+
+std::string to_json(const GroupResult& g) {
+  std::ostringstream os;
+  os << "{\"members\": [";
+  for (std::size_t i = 0; i < g.members.size(); ++i) {
+    if (i) os << ", ";
+    json_run(os, g.members[i]);
+  }
+  os << "], \"runs_completed\": [";
+  for (std::size_t i = 0; i < g.runs_completed.size(); ++i) {
+    if (i) os << ", ";
+    os << g.runs_completed[i];
+  }
+  os << "], \"total_avg_bw_gbs\": " << jnum(g.total_avg_bw_gbs)
+     << ", \"finish_cycle\": " << g.finish_cycle
+     << ", \"hit_cycle_limit\": " << (g.hit_cycle_limit ? "true" : "false")
+     << "}";
+  return os.str();
+}
+
+std::string to_json(const CorunResult& c) {
+  std::ostringstream os;
+  os << "{\"fg\": ";
+  json_run(os, c.fg);
+  os << ", \"bg_workload\": " << jstr(c.bg_workload)
+     << ", \"bg_runs_completed\": " << c.bg_runs_completed
+     << ", \"bg_avg_bw_gbs\": " << jnum(c.bg_avg_bw_gbs)
+     << ", \"total_avg_bw_gbs\": " << jnum(c.total_avg_bw_gbs) << "}";
+  return os.str();
+}
+
+std::string to_json(const CorunMatrix& m) {
+  std::ostringstream os;
+  os << "{\"workloads\": [";
+  for (std::size_t i = 0; i < m.workloads.size(); ++i) {
+    if (i) os << ", ";
+    os << jstr(m.workloads[i]);
+  }
+  os << "], \"solo_cycles\": [";
+  for (std::size_t i = 0; i < m.solo_cycles.size(); ++i) {
+    if (i) os << ", ";
+    os << m.solo_cycles[i];
+  }
+  os << "], \"normalized\": [";
+  for (std::size_t fg = 0; fg < m.size(); ++fg) {
+    if (fg) os << ", ";
+    os << "[";
+    for (std::size_t bg = 0; bg < m.size(); ++bg) {
+      if (bg) os << ", ";
+      os << jnum(m.normalized[fg][bg]);
+    }
+    os << "]";
+  }
+  const auto counts = m.count_classes();
+  os << "], \"classes\": {\"harmony\": " << counts.harmony
+     << ", \"victim_offender\": " << counts.victim_offender
+     << ", \"both_victim\": " << counts.both_victim << "}}";
+  return os.str();
+}
+
+std::string to_json(const ScalabilityResult& s) {
+  std::ostringstream os;
+  os << "{\"workload\": " << jstr(s.workload)
+     << ", \"rate_mode\": " << (s.rate_mode ? "true" : "false")
+     << ", \"class\": " << jstr(to_string(s.cls)) << ", \"threads\": [";
+  for (std::size_t i = 0; i < s.threads.size(); ++i) {
+    if (i) os << ", ";
+    os << s.threads[i];
+  }
+  os << "], \"cycles\": [";
+  for (std::size_t i = 0; i < s.cycles.size(); ++i) {
+    if (i) os << ", ";
+    os << s.cycles[i];
+  }
+  os << "], \"speedup\": [";
+  for (std::size_t i = 0; i < s.speedup.size(); ++i) {
+    if (i) os << ", ";
+    os << jnum(s.speedup[i]);
+  }
+  os << "], \"bw_gbs\": [";
+  for (std::size_t i = 0; i < s.bw_gbs.size(); ++i) {
+    if (i) os << ", ";
+    os << jnum(s.bw_gbs[i]);
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string to_json(const std::vector<ScalabilityResult>& s) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ", ";
+    os << to_json(s[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string to_json(const PrefetchSensitivity& p) {
+  std::ostringstream os;
+  os << "{\"workload\": " << jstr(p.workload)
+     << ", \"cycles_on\": " << p.cycles_on
+     << ", \"cycles_off\": " << p.cycles_off
+     << ", \"speedup_ratio\": " << jnum(p.speedup_ratio)
+     << ", \"bw_on_gbs\": " << jnum(p.bw_on_gbs)
+     << ", \"bw_off_gbs\": " << jnum(p.bw_off_gbs) << "}";
+  return os.str();
+}
+
+std::string to_json(const std::vector<PrefetchSensitivity>& p) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i) os << ", ";
+    os << to_json(p[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string to_csv(const RunResult& r) {
+  std::ostringstream os;
+  os << kRunCsvHeader << '\n';
+  csv_run_row(os, r);
+  return os.str();
+}
+
+std::string to_csv(const GroupResult& g) {
+  std::ostringstream os;
+  os << "member," << kRunCsvHeader << ",runs_completed\n";
+  for (std::size_t i = 0; i < g.members.size(); ++i) {
+    std::ostringstream row;
+    csv_run_row(row, g.members[i]);
+    std::string line = row.str();
+    line.pop_back();  // the trailing newline; runs_completed goes last
+    os << i << ',' << line << ',' << g.runs_completed[i] << '\n';
+  }
+  return os.str();
+}
+
+std::string to_csv(const CorunResult& c) {
+  // The background's measurement is its progress, not a completed run:
+  // instructions + iteration count + bandwidth share.
+  std::ostringstream os;
+  os << "role," << kRunCsvHeader << ",runs_completed\n";
+  os << "fg,";
+  {
+    std::ostringstream row;
+    csv_run_row(row, c.fg);
+    std::string line = row.str();
+    line.pop_back();
+    os << line << ",\n";
+  }
+  const perf::Metrics bg = perf::Metrics::from(c.bg_stats);
+  os << "bg," << c.bg_workload << ",,,," << c.bg_stats.instructions << ','
+     << jnum(c.bg_avg_bw_gbs) << ",,," << jnum(bg.cpi) << ',' << jnum(bg.ipc)
+     << ',' << jnum(bg.llc_mpki) << ',' << jnum(bg.l2_pcp) << ','
+     << jnum(bg.ll) << ',' << c.bg_runs_completed << '\n';
+  return os.str();
+}
+
+std::string to_csv(const CorunMatrix& m) {
+  std::ostringstream os;
+  os << "foreground,background,normalized_runtime\n";
+  for (std::size_t fg = 0; fg < m.size(); ++fg)
+    for (std::size_t bg = 0; bg < m.size(); ++bg)
+      os << m.workloads[fg] << ',' << m.workloads[bg] << ','
+         << Table::fmt(m.at(fg, bg), 4) << '\n';
+  return os.str();
+}
+
+std::string to_csv(const ScalabilityResult& s) {
+  return to_csv(std::vector<ScalabilityResult>{s});
+}
+
+std::string to_csv(const std::vector<ScalabilityResult>& s) {
+  std::ostringstream os;
+  os << "workload,threads,cycles,speedup,bw_gbs,class\n";
+  for (const auto& r : s)
+    for (std::size_t i = 0; i < r.threads.size(); ++i)
+      os << r.workload << ',' << r.threads[i] << ',' << r.cycles[i] << ','
+         << jnum(r.speedup[i]) << ',' << jnum(r.bw_gbs[i]) << ','
+         << to_string(r.cls) << '\n';
+  return os.str();
+}
+
+std::string to_csv(const PrefetchSensitivity& p) {
+  return to_csv(std::vector<PrefetchSensitivity>{p});
+}
+
+std::string to_csv(const std::vector<PrefetchSensitivity>& p) {
+  std::ostringstream os;
+  os << "workload,cycles_on,cycles_off,speedup_ratio,bw_on_gbs,bw_off_gbs\n";
+  for (const auto& s : p)
+    os << s.workload << ',' << s.cycles_on << ',' << s.cycles_off << ','
+       << jnum(s.speedup_ratio) << ',' << jnum(s.bw_on_gbs) << ','
+       << jnum(s.bw_off_gbs) << '\n';
+  return os.str();
+}
+
+}  // namespace report
 
 }  // namespace coperf::harness

@@ -96,33 +96,47 @@ bool get_run(std::istream& is, RunResult& r) {
   return true;
 }
 
-void put_pair(std::ostream& os, const CorunResult& c) {
-  put_run(os, c.fg);
-  os << "bg_workload " << c.bg_workload << '\n'
-     << "bg_runs " << c.bg_runs_completed << '\n';
-  put_stats(os, "bg_stats", c.bg_stats);
-  os << "bg_avg_bw " << fmt_double(c.bg_avg_bw_gbs) << '\n'
-     << "total_avg_bw " << fmt_double(c.total_avg_bw_gbs) << '\n';
+void put_group(std::ostream& os, const GroupResult& g) {
+  os << "members " << g.members.size() << '\n';
+  for (std::size_t i = 0; i < g.members.size(); ++i) {
+    put_run(os, g.members[i]);
+    os << "runs_completed " << g.runs_completed[i] << '\n';
+  }
+  os << "total_avg_bw " << fmt_double(g.total_avg_bw_gbs) << '\n'
+     << "finish_cycle " << g.finish_cycle << '\n'
+     << "group_hit_limit " << (g.hit_cycle_limit ? 1 : 0) << '\n';
 }
 
-bool get_pair(std::istream& is, CorunResult& c) {
+bool get_group(std::istream& is, GroupResult& g) {
   std::string tag;
-  if (!get_run(is, c.fg)) return false;
-  if (!(is >> tag >> c.bg_workload) || tag != "bg_workload") return false;
-  if (!(is >> tag >> c.bg_runs_completed) || tag != "bg_runs") return false;
-  if (!(is >> tag) || tag != "bg_stats" || !get_stats(is, c.bg_stats))
-    return false;
-  if (!(is >> tag >> c.bg_avg_bw_gbs) || tag != "bg_avg_bw") return false;
-  if (!(is >> tag >> c.total_avg_bw_gbs) || tag != "total_avg_bw") return false;
+  std::size_t nmembers = 0;
+  int hit_limit = 0;
+  if (!(is >> tag >> nmembers) || tag != "members") return false;
+  g.members.clear();
+  g.runs_completed.clear();
+  g.members.reserve(nmembers);
+  g.runs_completed.resize(nmembers, 0);
+  for (std::size_t i = 0; i < nmembers; ++i) {
+    RunResult r;
+    if (!get_run(is, r)) return false;
+    if (!(is >> tag >> g.runs_completed[i]) || tag != "runs_completed")
+      return false;
+    g.members.push_back(std::move(r));
+  }
+  if (!(is >> tag >> g.total_avg_bw_gbs) || tag != "total_avg_bw") return false;
+  if (!(is >> tag >> g.finish_cycle) || tag != "finish_cycle") return false;
+  if (!(is >> tag >> hit_limit) || tag != "group_hit_limit") return false;
+  g.hit_cycle_limit = hit_limit != 0;
   return true;
 }
+
+constexpr const char* kDiskHeader = "coperf-run-cache v2";
 
 }  // namespace
 
 struct RunCache::Impl {
-  std::mutex mu;
-  std::unordered_map<std::string, RunResult> solo;
-  std::unordered_map<std::string, CorunResult> pair;
+  mutable std::mutex mu;
+  std::unordered_map<std::string, GroupResult> groups;
   Stats stats;
 
   std::filesystem::path entry_path(const std::string& dir,
@@ -132,22 +146,28 @@ struct RunCache::Impl {
     return std::filesystem::path{dir} / name;
   }
 
-  /// Reads a disk entry; verifies the embedded key (collision safety).
-  template <typename T, typename GetFn>
-  bool disk_load(const std::string& dir, const std::string& key, T* out,
-                 GetFn get) {
+  /// Opens a disk entry and verifies header + embedded key (collision
+  /// safety); leaves the stream positioned at the payload.
+  bool disk_open(const std::string& dir, const std::string& key,
+                 std::ifstream& in) const {
     if (dir.empty()) return false;
-    std::ifstream in{entry_path(dir, key)};
+    in.open(entry_path(dir, key));
     if (!in) return false;
     std::string line;
-    if (!std::getline(in, line) || line != "coperf-run-cache v1") return false;
+    if (!std::getline(in, line) || line != kDiskHeader) return false;
     if (!std::getline(in, line) || line != "key " + key) return false;
-    return get(in, *out);
+    return true;
   }
 
-  template <typename T, typename PutFn>
-  void disk_store(const std::string& dir, const std::string& key, const T& v,
-                  PutFn put) {
+  bool disk_load(const std::string& dir, const std::string& key,
+                 GroupResult* out) const {
+    std::ifstream in;
+    if (!disk_open(dir, key, in)) return false;
+    return get_group(in, *out);
+  }
+
+  void disk_store(const std::string& dir, const std::string& key,
+                  const GroupResult& v) {
     if (dir.empty()) return;
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
@@ -156,8 +176,8 @@ struct RunCache::Impl {
     {
       std::ofstream out{tmp};
       if (!out) return;
-      out << "coperf-run-cache v1\nkey " << key << '\n';
-      put(out, v);
+      out << kDiskHeader << "\nkey " << key << '\n';
+      put_group(out, v);
       if (!out) {
         std::filesystem::remove(tmp, ec);
         return;
@@ -194,8 +214,7 @@ void RunCache::reset_stats() {
 
 void RunCache::clear() {
   std::lock_guard lock{impl_->mu};
-  impl_->solo.clear();
-  impl_->pair.clear();
+  impl_->groups.clear();
 }
 
 void RunCache::clear_disk() {
@@ -213,59 +232,33 @@ void RunCache::set_disk_dir(std::string dir) {
   disk_dir_ = std::move(dir);
 }
 
-bool RunCache::lookup_solo(const std::string& key, RunResult* out) {
+bool RunCache::lookup(const std::string& key, GroupResult* out) {
   std::lock_guard lock{impl_->mu};
-  if (auto it = impl_->solo.find(key); it != impl_->solo.end()) {
+  if (auto it = impl_->groups.find(key); it != impl_->groups.end()) {
     ++impl_->stats.hits;
     *out = it->second;
     return true;
   }
-  if (impl_->disk_load(disk_dir_, key, out,
-                       [](std::istream& is, RunResult& r) {
-                         return get_run(is, r);
-                       })) {
+  if (impl_->disk_load(disk_dir_, key, out)) {
     ++impl_->stats.disk_hits;
-    impl_->solo.emplace(key, *out);
+    impl_->groups.emplace(key, *out);
     return true;
   }
   ++impl_->stats.misses;
   return false;
 }
 
-void RunCache::store_solo(const std::string& key, const RunResult& r) {
+void RunCache::store(const std::string& key, const GroupResult& r) {
   std::lock_guard lock{impl_->mu};
-  impl_->solo.emplace(key, r);
-  impl_->disk_store(disk_dir_, key, r, [](std::ostream& os, const RunResult& v) {
-    put_run(os, v);
-  });
+  impl_->groups.emplace(key, r);
+  impl_->disk_store(disk_dir_, key, r);
 }
 
-bool RunCache::lookup_pair(const std::string& key, CorunResult* out) {
+bool RunCache::contains(const std::string& key) const {
   std::lock_guard lock{impl_->mu};
-  if (auto it = impl_->pair.find(key); it != impl_->pair.end()) {
-    ++impl_->stats.hits;
-    *out = it->second;
-    return true;
-  }
-  if (impl_->disk_load(disk_dir_, key, out,
-                       [](std::istream& is, CorunResult& c) {
-                         return get_pair(is, c);
-                       })) {
-    ++impl_->stats.disk_hits;
-    impl_->pair.emplace(key, *out);
-    return true;
-  }
-  ++impl_->stats.misses;
-  return false;
-}
-
-void RunCache::store_pair(const std::string& key, const CorunResult& r) {
-  std::lock_guard lock{impl_->mu};
-  impl_->pair.emplace(key, r);
-  impl_->disk_store(disk_dir_, key, r,
-                    [](std::ostream& os, const CorunResult& v) {
-                      put_pair(os, v);
-                    });
+  if (impl_->groups.count(key) != 0) return true;
+  std::ifstream in;
+  return impl_->disk_open(disk_dir_, key, in);
 }
 
 std::string RunCache::machine_fingerprint(const sim::MachineConfig& m) {
@@ -291,27 +284,30 @@ std::string RunCache::machine_fingerprint(const sim::MachineConfig& m) {
   return os.str();
 }
 
-namespace {
-std::string options_key(const RunOptions& opt, bool with_bg) {
+std::string RunCache::group_key(const GroupSpec& spec, const RunOptions& opt) {
   std::ostringstream os;
-  os << "|size=" << static_cast<int>(opt.size) << "|threads=" << opt.threads;
-  if (with_bg) os << "|bg_threads=" << opt.bg_threads;
+  os << "group";
+  for (const MemberSpec& m : spec.members) {
+    os << '|' << m.workload << ':' << m.threads << ":s"
+       << static_cast<int>(m.size.value_or(opt.size)) << ':'
+       << (m.restart_until_done ? 'r' : 'f');
+  }
   os << "|seed=" << opt.seed << "|sw=" << opt.sample_window
-     << "|cl=" << opt.cycle_limit << "|mach{"
-     << RunCache::machine_fingerprint(opt.machine) << "}";
+     << "|cl=" << opt.cycle_limit << "|mach{" << machine_fingerprint(opt.machine)
+     << "}";
   return os.str();
 }
-}  // namespace
 
 std::string RunCache::solo_key(std::string_view workload,
                                const RunOptions& opt) {
-  return "solo|" + std::string{workload} + options_key(opt, /*with_bg=*/false);
+  return group_key(GroupSpec::solo(std::string{workload}, opt.threads), opt);
 }
 
 std::string RunCache::pair_key(std::string_view fg, std::string_view bg,
                                const RunOptions& opt) {
-  return "pair|" + std::string{fg} + "|vs|" + std::string{bg} +
-         options_key(opt, /*with_bg=*/true);
+  return group_key(GroupSpec::pair(std::string{fg}, std::string{bg},
+                                   opt.threads, opt.bg_threads),
+                   opt);
 }
 
 }  // namespace coperf::harness

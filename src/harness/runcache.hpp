@@ -1,18 +1,20 @@
 // Content-addressed cache of simulation results.
 //
-// Every coperf simulation is deterministic: the full RunResult is a
-// pure function of (workload, input size, seed, thread counts, machine
-// configuration, sampling window, cycle limit). The cache keys on
-// exactly those fields, so a hit returns a bit-identical result without
-// re-simulating. This removes the repeated work across bench binaries
-// -- the solo profiles measured by bench/predictor_accuracy are the
-// same simulations fig5/fig6 re-run for their baselines -- and lets a
-// second matrix build complete with zero new pair simulations.
+// Every coperf simulation is deterministic: the full GroupResult is a
+// pure function of (the group's members -- workload, threads, size,
+// restart semantics -- the seed, the machine configuration, the
+// sampling window, and the cycle limit). The cache keys on exactly
+// those fields, so a hit returns a bit-identical result without
+// re-simulating. Solo runs and pairs are the 1- and 2-member special
+// cases and share the same store, which is what lets an
+// ExperimentPlan dedupe a fig5 matrix against the predictor's solo
+// profiles and lets a second matrix build complete with zero new
+// simulations.
 //
 // The in-memory layer is always available and process-local. Disk
 // persistence (sharing results across bench invocations) is opt-in:
-// set COPERF_RUN_CACHE_DIR (the CI perf job points it under build/) or
-// call set_disk_dir(). Entries are one text file per key under that
+// set COPERF_RUN_CACHE_DIR (the CI jobs point it under the workspace)
+// or call set_disk_dir(). Entries are one text file per key under that
 // directory, named by a 64-bit FNV-1a hash with the full key stored
 // inside and verified on load, so hash collisions degrade to misses.
 #pragma once
@@ -21,6 +23,7 @@
 #include <string>
 #include <string_view>
 
+#include "harness/group.hpp"
 #include "harness/runner.hpp"
 
 namespace coperf::harness {
@@ -52,14 +55,18 @@ class RunCache {
   void set_disk_dir(std::string dir);
   const std::string& disk_dir() const { return disk_dir_; }
 
-  // --- used by run_solo / run_pair ------------------------------------
-  bool lookup_solo(const std::string& key, RunResult* out);
-  void store_solo(const std::string& key, const RunResult& r);
-  bool lookup_pair(const std::string& key, CorunResult* out);
-  void store_pair(const std::string& key, const CorunResult& r);
+  // --- used by run_group (and through it run_solo / run_pair) ---------
+  bool lookup(const std::string& key, GroupResult* out);
+  void store(const std::string& key, const GroupResult& r);
+  /// Stats-neutral membership probe (memory or disk) -- lets a plan
+  /// count its residue without charging hits/misses.
+  bool contains(const std::string& key) const;
 
-  /// Canonical key strings. Two RunOptions produce the same key iff
-  /// every simulation-relevant field matches.
+  /// Canonical key string. Two (spec, options) pairs produce the same
+  /// key iff every simulation-relevant field matches.
+  static std::string group_key(const GroupSpec& spec, const RunOptions& opt);
+  /// Convenience keys for the 1- and 2-member special cases (thread
+  /// counts come from opt.threads / opt.bg_threads like the runners).
   static std::string solo_key(std::string_view workload,
                               const RunOptions& opt);
   static std::string pair_key(std::string_view fg, std::string_view bg,

@@ -1,158 +1,37 @@
 #include "harness/runner.hpp"
 
 #include <algorithm>
-#include <memory>
 #include <stdexcept>
 
-#include "harness/runcache.hpp"
-#include "perf/profiler.hpp"
-#include "wl/registry.hpp"
+#include "harness/group.hpp"
 
 namespace coperf::harness {
 
-namespace {
-
-std::vector<unsigned> iota_cores(unsigned first, unsigned count) {
-  std::vector<unsigned> cores(count);
-  for (unsigned i = 0; i < count; ++i) cores[i] = first + i;
-  return cores;
-}
-
-RunResult collect_app(sim::Machine& m, std::size_t app_index,
-                      const wl::AppModel& model, sim::Cycle cycles,
-                      const perf::BandwidthReport& bw, bool hit_limit) {
-  RunResult r;
-  r.workload = model.name();
-  r.threads = model.threads();
-  r.cycles = cycles;
-  r.seconds = m.config().seconds(cycles);
-  r.stats = m.app_stats(app_index);
-  r.metrics = perf::Metrics::from(r.stats);
-  r.avg_bw_gbs =
-      app_index < bw.app_avg_gbs.size() ? bw.app_avg_gbs[app_index] : 0.0;
-  r.regions = perf::profile_app(m, app_index, /*min_cycles=*/1000);
-  r.hit_cycle_limit = hit_limit;
-  return r;
-}
-
-}  // namespace
-
 RunResult run_solo(std::string_view workload, const RunOptions& opt) {
-  // Simulations are deterministic in the key's fields, so a cache hit
-  // is bit-identical to re-running the simulation.
-  RunCache& cache = RunCache::instance();
-  std::string key;
-  if (cache.enabled()) {
-    key = RunCache::solo_key(workload, opt);
-    RunResult cached;
-    if (cache.lookup_solo(key, &cached)) return cached;
-  }
-  const auto& reg = wl::Registry::instance();
-  auto model = reg.create(workload, wl::AppParams{0, opt.threads, opt.size,
-                                                  opt.seed});
-  sim::Machine m{opt.machine};
-  m.set_sample_window(opt.sample_window);
-  m.set_cycle_limit(opt.cycle_limit);
-
-  sim::AppBinding binding;
-  binding.id = 0;
-  binding.cores = iota_cores(0, opt.threads);
-  binding.sources = model->sources();
-  m.add_app(std::move(binding));
-
-  const sim::RunOutcome out = m.run();
-  const auto bw = perf::summarize_bandwidth(m);
-  RunResult r =
-      collect_app(m, 0, *model, out.finish_cycle, bw, out.hit_cycle_limit);
-  r.footprint_bytes = model->footprint_bytes();
-  if (cache.enabled()) cache.store_solo(key, r);
-  return r;
+  return run_group(GroupSpec::solo(std::string{workload}, opt.threads), opt)
+      .members[0];
 }
 
 CorunResult run_pair(std::string_view fg, std::string_view bg,
                      const RunOptions& opt) {
-  if (opt.threads + opt.bg_threads > opt.machine.num_cores)
-    throw std::invalid_argument{
-        "run_pair: fg+bg threads exceed the machine's cores"};
-  RunCache& cache = RunCache::instance();
-  std::string key;
-  if (cache.enabled()) {
-    key = RunCache::pair_key(fg, bg, opt);
-    CorunResult cached;
-    if (cache.lookup_pair(key, &cached)) return cached;
-  }
-  const auto& reg = wl::Registry::instance();
-  auto fg_model =
-      reg.create(fg, wl::AppParams{0, opt.threads, opt.size, opt.seed});
-  auto bg_model = reg.create(
-      bg, wl::AppParams{1, opt.bg_threads, opt.size, opt.seed + 0x9E37u});
-
-  sim::Machine m{opt.machine};
-  m.set_sample_window(opt.sample_window);
-  m.set_cycle_limit(opt.cycle_limit);
-
-  sim::AppBinding fg_binding;
-  fg_binding.id = 0;
-  fg_binding.cores = iota_cores(0, opt.threads);
-  fg_binding.sources = fg_model->sources();
-  m.add_app(std::move(fg_binding));
-
-  sim::AppBinding bg_binding;
-  bg_binding.id = 1;
-  bg_binding.cores = iota_cores(opt.threads, opt.bg_threads);
-  bg_binding.sources = bg_model->sources();
-  bg_binding.background = true;
-  bg_binding.restart = [bg_raw = bg_model.get()] { bg_raw->restart(); };
-  m.add_app(std::move(bg_binding));
-
-  const sim::RunOutcome out = m.run();
-  const auto bw = perf::summarize_bandwidth(m);
-
-  CorunResult c;
-  c.fg = collect_app(m, 0, *fg_model, out.app_finish[0], bw,
-                     out.hit_cycle_limit);
-  c.fg.footprint_bytes = fg_model->footprint_bytes();
-  c.bg_workload = std::string{bg};
-  c.bg_runs_completed = out.bg_runs[1];
-  c.bg_stats = m.app_stats(1);
-  c.bg_avg_bw_gbs = bw.app_avg_gbs.size() > 1 ? bw.app_avg_gbs[1] : 0.0;
-  c.total_avg_bw_gbs = bw.avg_total_gbs;
-  if (cache.enabled()) cache.store_pair(key, c);
-  return c;
+  return to_corun(run_group(GroupSpec::pair(std::string{fg}, std::string{bg},
+                                            opt.threads, opt.bg_threads),
+                            opt));
 }
 
 RunResult run_solo_median(std::string_view workload, const RunOptions& opt,
                           unsigned reps) {
-  if (reps == 0) throw std::invalid_argument{"reps must be >= 1"};
-  std::vector<RunResult> runs;
-  runs.reserve(reps);
-  for (unsigned r = 0; r < reps; ++r) {
-    RunOptions o = opt;
-    o.seed = opt.seed + r;
-    runs.push_back(run_solo(workload, o));
-  }
-  std::sort(runs.begin(), runs.end(),
-            [](const RunResult& a, const RunResult& b) {
-              return a.cycles < b.cycles;
-            });
-  return runs[runs.size() / 2];
+  return run_group_median(GroupSpec::solo(std::string{workload}, opt.threads),
+                          opt, reps)
+      .members[0];
 }
 
 CorunResult run_pair_median(std::string_view fg, std::string_view bg,
                             const RunOptions& opt, unsigned reps) {
-  if (reps == 0) throw std::invalid_argument{"reps must be >= 1"};
-  std::vector<CorunResult> runs;
-  runs.reserve(reps);
-  for (unsigned r = 0; r < reps; ++r) {
-    RunOptions o = opt;
-    o.seed = opt.seed + r;
-    runs.push_back(run_pair(fg, bg, o));
-  }
-  std::sort(runs.begin(), runs.end(),
-            [](const CorunResult& a, const CorunResult& b) {
-              return a.fg.cycles < b.fg.cycles;
-            });
-  return runs[runs.size() / 2];
+  return to_corun(
+      run_group_median(GroupSpec::pair(std::string{fg}, std::string{bg},
+                                       opt.threads, opt.bg_threads),
+                       opt, reps));
 }
 
 }  // namespace coperf::harness

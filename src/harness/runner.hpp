@@ -59,7 +59,8 @@ RunResult run_solo(std::string_view workload, const RunOptions& opt = {});
 
 /// Runs `fg` on cores [0, threads) against `bg` looping on cores
 /// [threads, threads + bg_threads). Measures the foreground completely
-/// and the background's progress (Section V methodology).
+/// and the background's progress (Section V methodology). Implemented
+/// as the 2-member special case of run_group (harness/group.hpp).
 CorunResult run_pair(std::string_view fg, std::string_view bg,
                      const RunOptions& opt = {});
 

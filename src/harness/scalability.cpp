@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "wl/registry.hpp"
+#include "harness/plan.hpp"
 
 namespace coperf::harness {
 
@@ -29,27 +29,10 @@ ScalabilityResult scalability_sweep(std::string_view workload,
                                     const RunOptions& opt,
                                     unsigned max_threads,
                                     const ScalThresholds& thresholds) {
-  ScalabilityResult res;
-  res.workload = std::string{workload};
-  res.rate_mode = wl::Registry::instance().at(workload).rate_mode;
-
-  double t1 = 0.0;
-  for (unsigned t = 1; t <= max_threads; ++t) {
-    RunOptions o = opt;
-    o.threads = t;
-    const RunResult r = run_solo(workload, o);
-    res.threads.push_back(t);
-    res.cycles.push_back(r.cycles);
-    res.bw_gbs.push_back(r.avg_bw_gbs);
-    const double ct = static_cast<double>(r.cycles);
-    if (t == 1) t1 = ct;
-    // Fixed-work speedup for shared-work applications; throughput
-    // speedup for SPEC-rate copies (T copies of fixed per-copy work).
-    const double s = res.rate_mode ? t * t1 / ct : t1 / ct;
-    res.speedup.push_back(s);
-  }
-  res.cls = classify_scalability(res.max_speedup(), thresholds);
-  return res;
+  const SweepSpec spec{std::string{workload}, max_threads};
+  ExperimentPlan plan{opt};
+  plan.add_scalability(spec);
+  return plan.execute().scalability(spec, thresholds);
 }
 
 }  // namespace coperf::harness

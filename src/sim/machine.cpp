@@ -95,7 +95,8 @@ void Machine::sample_bandwidth() {
   BandwidthSample s;
   s.cycle = global_;
   s.total_bytes = mem_.channel().stats().total_bytes();
-  for (std::size_t i = 0; i < apps_.size() && i < s.app_bytes.size(); ++i)
+  s.app_bytes.resize(apps_.size());
+  for (std::size_t i = 0; i < apps_.size(); ++i)
     s.app_bytes[i] = mem_.channel().bytes_of(apps_[i].id);
   samples_.push_back(s);
   next_sample_ = global_ + sample_window_;

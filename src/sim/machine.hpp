@@ -8,7 +8,6 @@
 // finishes (Section V), exactly like the paper's co-run harness.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -36,11 +35,12 @@ struct AppBinding {
 };
 
 /// Cumulative memory-traffic snapshot taken every sample window
-/// (the Intel PCM `pcm-memory` analogue).
+/// (the Intel PCM `pcm-memory` analogue). One slot per bound app, so
+/// N-way co-run groups get per-member bandwidth like pairs do.
 struct BandwidthSample {
   Cycle cycle = 0;
   std::uint64_t total_bytes = 0;
-  std::array<std::uint64_t, 4> app_bytes{};  // indexed by binding order
+  std::vector<std::uint64_t> app_bytes;  // indexed by binding order
 };
 
 /// Result of Machine::run().

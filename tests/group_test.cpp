@@ -1,0 +1,240 @@
+// Fast-tier suite for the N-way group harness (harness/group.hpp):
+// run_group({fg, bg}) must reproduce run_pair bit-identically (the
+// long-tier sim_equivalence_test pins the same path against golden
+// snapshots from the pre-group tree), 3-way groups must run end to
+// end on Tiny inputs, and invalid groups must be rejected.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "harness/group.hpp"
+#include "harness/runcache.hpp"
+#include "harness/runner.hpp"
+#include "perf/pcm.hpp"
+#include "sim/machine.hpp"
+#include "wl/registry.hpp"
+
+namespace coperf::harness {
+namespace {
+
+RunOptions tiny_opts(unsigned threads = 4) {
+  RunOptions o;
+  o.machine = sim::MachineConfig::scaled();
+  o.size = wl::SizeClass::Tiny;
+  o.threads = threads;
+  o.seed = 11;
+  return o;
+}
+
+void expect_stats_eq(const sim::CoreStats& a, const sim::CoreStats& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.loads, b.loads);
+  EXPECT_EQ(a.stores, b.stores);
+  EXPECT_EQ(a.l1d_hits, b.l1d_hits);
+  EXPECT_EQ(a.l1d_misses, b.l1d_misses);
+  EXPECT_EQ(a.l2_hits, b.l2_hits);
+  EXPECT_EQ(a.l2_misses, b.l2_misses);
+  EXPECT_EQ(a.l3_hits, b.l3_hits);
+  EXPECT_EQ(a.l3_misses, b.l3_misses);
+  EXPECT_EQ(a.bytes_from_mem, b.bytes_from_mem);
+  EXPECT_EQ(a.bytes_written_back, b.bytes_written_back);
+  EXPECT_EQ(a.stall_cycles_mem, b.stall_cycles_mem);
+  EXPECT_EQ(a.pending_l2_cycles, b.pending_l2_cycles);
+  EXPECT_EQ(a.barrier_wait_cycles, b.barrier_wait_cycles);
+  EXPECT_EQ(a.prefetches_issued, b.prefetches_issued);
+}
+
+TEST(Group, TwoMemberGroupIsBitIdenticalToRunPair) {
+  const RunOptions opt = tiny_opts();
+  const GroupSpec spec = GroupSpec::pair("Bandit", "Stream", opt.threads,
+                                         opt.bg_threads);
+  auto& cache = RunCache::instance();
+  const std::string saved_disk = cache.disk_dir();
+  cache.set_disk_dir("");  // both runs must really simulate
+  cache.clear();
+  const GroupResult g = run_group(spec, opt);
+  cache.clear();  // the pair must not just read the cache
+  const CorunResult p = run_pair("Bandit", "Stream", opt);
+  cache.set_disk_dir(saved_disk);
+
+  ASSERT_EQ(g.members.size(), 2u);
+  EXPECT_EQ(g.members[0].workload, p.fg.workload);
+  EXPECT_EQ(g.members[0].threads, p.fg.threads);
+  EXPECT_EQ(g.members[0].cycles, p.fg.cycles);
+  EXPECT_EQ(g.members[0].seconds, p.fg.seconds);
+  EXPECT_EQ(g.members[0].avg_bw_gbs, p.fg.avg_bw_gbs);
+  EXPECT_EQ(g.members[0].footprint_bytes, p.fg.footprint_bytes);
+  EXPECT_EQ(g.members[0].hit_cycle_limit, p.fg.hit_cycle_limit);
+  expect_stats_eq(g.members[0].stats, p.fg.stats);
+  ASSERT_EQ(g.members[0].regions.size(), p.fg.regions.size());
+  for (std::size_t i = 0; i < g.members[0].regions.size(); ++i) {
+    EXPECT_EQ(g.members[0].regions[i].region, p.fg.regions[i].region);
+    expect_stats_eq(g.members[0].regions[i].stats, p.fg.regions[i].stats);
+  }
+  EXPECT_EQ(g.members[1].workload, p.bg_workload);
+  EXPECT_EQ(g.runs_completed[1], p.bg_runs_completed);
+  expect_stats_eq(g.members[1].stats, p.bg_stats);
+  EXPECT_EQ(g.members[1].avg_bw_gbs, p.bg_avg_bw_gbs);
+  EXPECT_EQ(g.total_avg_bw_gbs, p.total_avg_bw_gbs);
+}
+
+/// Independent ground truth: the same pair assembled directly on a
+/// Machine, with the historical core placement and seed convention.
+TEST(Group, TwoMemberGroupMatchesDirectMachineAssembly) {
+  const RunOptions opt = tiny_opts();
+  const auto& reg = wl::Registry::instance();
+  auto fg_model =
+      reg.create("Bandit", wl::AppParams{0, opt.threads, opt.size, opt.seed});
+  auto bg_model = reg.create(
+      "Stream", wl::AppParams{1, opt.bg_threads, opt.size, opt.seed + 0x9E37u});
+
+  sim::Machine m{opt.machine};
+  m.set_sample_window(opt.sample_window);
+  sim::AppBinding fgb;
+  fgb.id = 0;
+  for (unsigned c = 0; c < opt.threads; ++c) fgb.cores.push_back(c);
+  fgb.sources = fg_model->sources();
+  m.add_app(std::move(fgb));
+  sim::AppBinding bgb;
+  bgb.id = 1;
+  for (unsigned c = 0; c < opt.bg_threads; ++c)
+    bgb.cores.push_back(opt.threads + c);
+  bgb.sources = bg_model->sources();
+  bgb.background = true;
+  bgb.restart = [raw = bg_model.get()] { raw->restart(); };
+  m.add_app(std::move(bgb));
+  const sim::RunOutcome out = m.run();
+
+  auto& cache = RunCache::instance();
+  const std::string saved_disk = cache.disk_dir();
+  cache.set_disk_dir("");
+  cache.clear();
+  const GroupResult g = run_group(
+      GroupSpec::pair("Bandit", "Stream", opt.threads, opt.bg_threads), opt);
+  cache.set_disk_dir(saved_disk);
+  EXPECT_EQ(g.members[0].cycles, out.app_finish[0]);
+  EXPECT_EQ(g.members[1].cycles, out.app_finish[1]);
+  EXPECT_EQ(g.finish_cycle, out.finish_cycle);
+  EXPECT_EQ(g.runs_completed[1], out.bg_runs[1]);
+  expect_stats_eq(g.members[0].stats, m.app_stats(0));
+  expect_stats_eq(g.members[1].stats, m.app_stats(1));
+}
+
+TEST(Group, ThreeWayGroupRunsEndToEnd) {
+  const RunOptions opt = tiny_opts();
+  GroupSpec spec;
+  spec.members = {MemberSpec{"Bandit", 2, {}, false},
+                  MemberSpec{"swaptions", 2, {}, false},
+                  MemberSpec{"Stream", 4, {}, true}};
+  const GroupResult g = run_group(spec, opt);
+
+  ASSERT_EQ(g.members.size(), 3u);
+  ASSERT_EQ(g.runs_completed.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(g.members[i].stats.instructions, 0u) << "member " << i;
+    EXPECT_GT(g.members[i].stats.cycles, 0u) << "member " << i;
+    EXPECT_EQ(g.members[i].threads, spec.members[i].threads);
+    EXPECT_FALSE(g.members[i].hit_cycle_limit);
+  }
+  // Run-to-completion members never report loop iterations.
+  EXPECT_EQ(g.runs_completed[0], 0u);
+  EXPECT_EQ(g.runs_completed[1], 0u);
+  // The group ends when the last foreground retires.
+  EXPECT_EQ(g.finish_cycle,
+            std::max(g.members[0].cycles, g.members[1].cycles));
+  EXPECT_FALSE(g.hit_cycle_limit);
+  // Per-member bandwidth shares are consistent with the socket total.
+  EXPECT_GT(g.total_avg_bw_gbs, 0.0);
+  for (const RunResult& m : g.members)
+    EXPECT_GE(g.total_avg_bw_gbs + 0.5, m.avg_bw_gbs);
+}
+
+TEST(Group, ThreeWayInterferenceSlowsTheVictim) {
+  const RunOptions opt = tiny_opts();
+  const sim::Cycle solo = run_solo("Bandit", [&] {
+                            RunOptions o = opt;
+                            o.threads = 2;
+                            return o;
+                          }()).cycles;
+  GroupSpec trio;
+  trio.members = {MemberSpec{"Bandit", 2, {}, false},
+                  MemberSpec{"Stream", 3, {}, true},
+                  MemberSpec{"fotonik3d", 3, {}, true}};
+  const GroupResult g = run_group(trio, opt);
+  EXPECT_GT(g.members[0].cycles, solo)
+      << "a bandwidth victim must slow down next to two streaming offenders";
+}
+
+TEST(Group, CycleLimitIsFlagged) {
+  RunOptions opt = tiny_opts();
+  opt.cycle_limit = 20'000;  // far below any Tiny finish time
+  const GroupResult g =
+      run_group(GroupSpec::pair("Bandit", "Stream", 4, 4), opt);
+  EXPECT_TRUE(g.hit_cycle_limit);
+  for (const RunResult& m : g.members) EXPECT_TRUE(m.hit_cycle_limit);
+}
+
+TEST(Group, RejectsInvalidSpecs) {
+  const RunOptions opt = tiny_opts();
+  EXPECT_THROW(run_group(GroupSpec{}, opt), std::invalid_argument);
+
+  GroupSpec all_bg;
+  all_bg.members = {MemberSpec{"Bandit", 2, {}, true},
+                    MemberSpec{"Stream", 2, {}, true}};
+  EXPECT_THROW(run_group(all_bg, opt), std::invalid_argument);
+
+  GroupSpec zero_threads;
+  zero_threads.members = {MemberSpec{"Bandit", 0, {}, false}};
+  EXPECT_THROW(run_group(zero_threads, opt), std::invalid_argument);
+
+  GroupSpec oversubscribed;
+  oversubscribed.members = {MemberSpec{"Bandit", 4, {}, false},
+                            MemberSpec{"Stream", 3, {}, false},
+                            MemberSpec{"swaptions", 3, {}, false}};
+  EXPECT_THROW(run_group(oversubscribed, opt), std::invalid_argument);
+
+  GroupResult three;
+  three.members.resize(3);
+  EXPECT_THROW(to_corun(three), std::invalid_argument);
+}
+
+TEST(Group, MedianRanksByFirstMember) {
+  const RunOptions opt = tiny_opts();
+  const GroupSpec spec = GroupSpec::solo("Bandit", 2);
+  const GroupResult med = run_group_median(spec, opt, 3);
+  // Median-of-3 must be one of the three seeds' results.
+  bool found = false;
+  for (unsigned r = 0; r < 3; ++r) {
+    RunOptions o = opt;
+    o.seed = opt.seed + r;
+    found |= run_group(spec, o).members[0].cycles == med.members[0].cycles;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_THROW(run_group_median(spec, opt, 0), std::invalid_argument);
+}
+
+TEST(Group, CacheKeyCoversMembersAndSemantics) {
+  const RunOptions opt = tiny_opts();
+  const std::string pair_ab =
+      RunCache::group_key(GroupSpec::pair("Bandit", "Stream", 4, 4), opt);
+  EXPECT_NE(pair_ab,
+            RunCache::group_key(GroupSpec::pair("Stream", "Bandit", 4, 4), opt))
+      << "member order is placement order, not symmetric";
+  EXPECT_NE(pair_ab,
+            RunCache::group_key(GroupSpec::pair("Bandit", "Stream", 2, 4), opt))
+      << "per-member threads must be in the key";
+
+  GroupSpec both_fg = GroupSpec::pair("Bandit", "Stream", 4, 4);
+  both_fg.members[1].restart_until_done = false;
+  EXPECT_NE(pair_ab, RunCache::group_key(both_fg, opt))
+      << "restart semantics must be in the key";
+
+  GroupSpec sized = GroupSpec::pair("Bandit", "Stream", 4, 4);
+  sized.members[1].size = wl::SizeClass::Small;
+  EXPECT_NE(pair_ab, RunCache::group_key(sized, opt))
+      << "a per-member size override must be in the key";
+}
+
+}  // namespace
+}  // namespace coperf::harness

@@ -289,6 +289,10 @@ void expect_identical(const harness::RunResult& a, const harness::RunResult& b) 
 
 TEST(RunCacheKey, HitReturnsIdenticalRunResult) {
   auto& cache = harness::RunCache::instance();
+  // Park the disk layer (CI sets COPERF_RUN_CACHE_DIR): the hit/miss
+  // accounting below must see exactly this process' simulations.
+  const std::string saved_disk = cache.disk_dir();
+  cache.set_disk_dir("");
   cache.clear();
   cache.reset_stats();
   const harness::RunOptions opt = cache_test_options();
@@ -309,6 +313,7 @@ TEST(RunCacheKey, HitReturnsIdenticalRunResult) {
   other.seed = opt.seed + 1;
   (void)harness::run_solo("Stream", other);
   EXPECT_EQ(cache.stats().misses, 2u);
+  cache.set_disk_dir(saved_disk);
 }
 
 TEST(RunCacheKey, DiskLayerRoundTripsAcrossMemoryClear) {
