@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -105,15 +106,24 @@ inline unsigned parse_unsigned(const std::string& flag,
   return static_cast<unsigned>(std::stoul(value));
 }
 
+/// Bench-specific flag hook for parse_args: return true when the flag
+/// was consumed, false to fall through to the unknown-flag error.
+using ExtraFlag = std::function<bool(const std::string& arg)>;
+
 /// `subset_supported`: benches that cannot restrict their workload list
 /// must leave this false so --subset is rejected instead of silently
-/// ignored.
+/// ignored. `extra` consumes bench-specific flags (documented via
+/// `extra_help`, appended to --help).
 inline BenchArgs parse_args(int argc, char** argv,
-                            bool subset_supported = false) {
+                            bool subset_supported = false,
+                            const ExtraFlag& extra = {},
+                            const std::string& extra_help = {}) {
   BenchArgs a;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--quick") {
+    if (extra && extra(arg)) {
+      continue;
+    } else if (arg == "--quick") {
       a.quick = true;
     } else if (arg == "--native") {
       a.native = true;
@@ -142,7 +152,8 @@ inline BenchArgs parse_args(int argc, char** argv,
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "flags: --quick --native --csv --json --reps=N --threads=N"
                    " --size=tiny|small|native"
-                << (subset_supported ? " --subset=A,B,..." : "") << "\n";
+                << (subset_supported ? " --subset=A,B,..." : "")
+                << (extra_help.empty() ? "" : " " + extra_help) << "\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << arg << " (see --help)\n";

@@ -1,34 +1,69 @@
-// Cluster placement regret: what prediction quality buys an online
-// scheduler, and what online refinement buys on top.
+// Cluster placement regret billed at *measured group truth*: what
+// prediction quality buys an online scheduler, and what the additive
+// pairwise approximation was hiding.
 //
-// 1. Build ONE plan for the ground truth: the co-run matrix on a
-//    subset (default: the 8-workload Tiny set predictor_accuracy
-//    uses) plus the solo profiles, deduplicated so each unique trial
-//    simulates once -- and served from the content-addressed RunCache
-//    when available, so repeated regret runs (and earlier
-//    predictor_accuracy / fig5 invocations with COPERF_RUN_CACHE_DIR
-//    set) stop re-simulating solos and pairs.
-// 2. Build the analytic predicted matrix from solo signatures, and
-//    distill it into the trainable models (kNN, least squares) so they
-//    can absorb observations.
-// 3. Sweep synthetic arrival traces (--reps seeds) through the cluster
-//    simulator under each policy and report mean stretch and regret
-//    against the oracle: random, static-analytic (frozen prediction),
-//    online-refined lstsq/knn (prediction + observe() feedback), oracle.
+// 1. Build a GroupTruth over the subset (default: the 8-workload Tiny
+//    set predictor_accuracy uses) and batch-measure every resident
+//    multiset a machine with --slots co-run slots can hold, up to
+//    --max-truth-arity residents, in ONE deduplicated plan -- each
+//    unique group simulates exactly once and repeats are served by the
+//    content-addressed RunCache (set COPERF_RUN_CACHE_DIR to reuse
+//    across invocations). Members run at cores/slots threads so the
+//    largest group fills the machine.
+// 2. Report the additive-vs-measured gap: how far composing the
+//    measured pairwise projection lands from the truly measured
+//    3+-resident slowdowns (predict::evaluate_groups).
+// 3. Build the analytic predicted matrix from the solo signatures and
+//    distill it into the trainable models (kNN, least squares).
+// 4. Sweep synthetic arrival traces (--reps seeds) through the cluster
+//    simulator under each policy and report mean stretch and
+//    per-decision regret billed at group truth: random,
+//    static-analytic (frozen prediction), online-refined lstsq/knn
+//    (prediction + group-outcome feedback, 3-resident outcomes
+//    deconvolved into pairwise refinement), and the group-truth oracle
+//    (zero regret by construction). Any query the truth had to answer
+//    by additive composition is counted and printed as a
+//    pairwise-fallback -- zero when --max-truth-arity >= --slots.
+#include <algorithm>
 #include <iostream>
 #include <memory>
 
 #include "bench_common.hpp"
 #include "cluster/cluster.hpp"
+#include "harness/grouptruth.hpp"
 #include "harness/report.hpp"
 #include "harness/runcache.hpp"
+#include "predict/eval.hpp"
 #include "predict/predicted_matrix.hpp"
 
 int main(int argc, char** argv) try {
   using namespace coperf;
-  const auto args = bench::parse_args(argc, argv, /*subset_supported=*/true);
-  bench::print_config(args, "cluster placement regret -- "
-                            "{random, static, online} vs oracle");
+  unsigned machines = 4, slots = 3, max_truth_arity = 3;
+  const auto extra = [&](const std::string& arg) {
+    if (arg.rfind("--machines=", 0) == 0) {
+      machines = bench::parse_unsigned("--machines", arg.substr(11));
+      return true;
+    }
+    if (arg.rfind("--slots=", 0) == 0) {
+      slots = bench::parse_unsigned("--slots", arg.substr(8));
+      return true;
+    }
+    if (arg.rfind("--max-truth-arity=", 0) == 0) {
+      max_truth_arity =
+          bench::parse_unsigned("--max-truth-arity", arg.substr(18));
+      return true;
+    }
+    return false;
+  };
+  const auto args = bench::parse_args(
+      argc, argv, /*subset_supported=*/true, extra,
+      "--machines=N --slots=N --max-truth-arity=N");
+  bench::print_config(args, "cluster placement regret at measured group "
+                            "truth -- {random, static, online} vs oracle");
+  if (slots < 2 || machines == 0 || max_truth_arity < 2) {
+    std::cerr << "need --machines >= 1, --slots >= 2, --max-truth-arity >= 2\n";
+    return 2;
+  }
 
   std::vector<std::string> subset = args.subset;
   if (subset.empty())
@@ -39,14 +74,31 @@ int main(int argc, char** argv) try {
   harness::RunCache& cache = harness::RunCache::instance();
   cache.reset_stats();
 
-  harness::MatrixSpec mspec{subset, reps, {}};
-  harness::ExperimentPlan plan = args.plan();
-  plan.add_matrix(mspec);
-  std::cout << "ground truth: " << subset.size() << " solos + "
-            << subset.size() << "x" << subset.size() << " co-runs, "
-            << plan.trial_count() << " unique trials ("
-            << plan.residue_count() << " to simulate, rest cached)\n";
-  const harness::ResultSet rs = plan.execute(0, bench::plan_progress());
+  // Ground truth: measured resident groups. Members share the machine
+  // evenly, so the largest measured group fills its cores.
+  harness::GroupTruth::Config gcfg;
+  gcfg.workloads = subset;
+  gcfg.opt = args.run_options();
+  gcfg.reps = reps;
+  gcfg.max_arity = std::min(max_truth_arity, slots);
+  // Divide cores by SLOTS, not arity: a full machine holds `slots`
+  // residents, so this is the geometry every trial (measured group or
+  // composed pair) must be run at for the truth to describe it.
+  gcfg.member_threads =
+      std::max(1u, gcfg.opt.machine.num_cores / std::max(slots, 2u));
+  harness::GroupTruth truth{gcfg};
+
+  std::cout << "ground truth: " << subset.size() << " solos + every <= "
+            << gcfg.max_arity << "-resident multiset of " << subset.size()
+            << " types at " << gcfg.member_threads << " threads/member\n";
+  const auto pstats = truth.prefetch_all(gcfg.max_arity, bench::plan_progress());
+  std::cout << "  " << pstats.trials << " unique trials ("
+            << pstats.residue << " to simulate, rest cached)\n";
+  if (truth.truncated_trials() > 0)
+    std::cerr << "WARNING: " << truth.truncated_trials()
+              << " group trial(s) hit the cycle limit -- their slowdowns "
+                 "are lower bounds, not measurements (raise cycle_limit or "
+                 "shrink --size)\n";
 
   const auto cstats = cache.stats();
   std::cout << "run cache: " << cstats.misses << " simulated, "
@@ -57,18 +109,37 @@ int main(int argc, char** argv) try {
   std::cout << "\n\n";
 
   std::vector<predict::WorkloadSignature> sigs;
-  for (const auto& w : subset)
-    sigs.push_back(predict::WorkloadSignature::from(
-        rs.solo({w, args.threads, reps}), args.machine()));
-  const harness::CorunMatrix truth = rs.matrix(mspec);
+  for (std::size_t i = 0; i < subset.size(); ++i)
+    sigs.push_back(
+        predict::WorkloadSignature::from(truth.solo(i), args.machine()));
+  const harness::CorunMatrix& pairwise = truth.pairwise();
 
   const predict::BandwidthContentionModel analytic;
-  const harness::CorunMatrix predicted = predict::predicted_matrix(sigs, analytic);
+  const harness::CorunMatrix predicted =
+      predict::predicted_matrix(sigs, analytic);
   const auto distilled_pairs = predict::training_pairs(predicted, sigs);
 
+  // The additive-vs-measured gap over every measured 3+-resident group:
+  // what the pre-grouptruth pipeline billed with vs what actually runs.
+  {
+    std::vector<harness::GroupObservation> big;
+    for (auto& o : truth.observations())
+      if (o.others.size() >= 2) big.push_back(std::move(o));
+    if (!big.empty()) {
+      const auto ge = predict::evaluate_groups(big, sigs, pairwise, analytic);
+      std::cout << "additive composition vs measured >=3-resident truth ("
+                << ge.observations << " member observations):\n"
+                << "  composed-pairwise MAE "
+                << harness::Table::fmt(ge.additive_mae, 4) << " (max gap "
+                << harness::Table::fmt(ge.max_additive_gap, 4)
+                << "), analytic predict_group MAE "
+                << harness::Table::fmt(ge.model_mae, 4) << "\n\n";
+    }
+  }
+
   cluster::ClusterConfig cfg;
-  cfg.machines = 4;
-  cfg.slots = 2;
+  cfg.machines = machines;
+  cfg.slots = slots;
   cluster::TraceOptions topt;
   topt.jobs = 1000;
   topt.mean_work = 8.0;
@@ -81,12 +152,13 @@ int main(int argc, char** argv) try {
   struct Row {
     std::string name;
     double stretch = 0.0, slowdown = 0.0, regret = 0.0;
+    std::uint64_t fallbacks = 0;
   };
-  std::vector<Row> rows = {{"random", 0, 0, 0},
-                           {"static-analytic", 0, 0, 0},
-                           {"online-lstsq", 0, 0, 0},
-                           {"online-knn", 0, 0, 0},
-                           {"oracle", 0, 0, 0}};
+  std::vector<Row> rows = {{"random", 0, 0, 0, 0},
+                           {"static-analytic", 0, 0, 0, 0},
+                           {"online-lstsq", 0, 0, 0, 0},
+                           {"online-knn", 0, 0, 0, 0},
+                           {"oracle", 0, 0, 0, 0}};
 
   std::cout << "sweeping " << seeds << " arrival trace(s) of " << topt.jobs
             << " jobs over " << cfg.machines << " machines x " << cfg.slots
@@ -106,7 +178,7 @@ int main(int argc, char** argv) try {
                                               std::move(lstsq), sigs};
     cluster::OnlineRefinedPolicy online_knn{"online-knn", std::move(knn),
                                             sigs};
-    cluster::CostModelPolicy oracle{"oracle", truth};
+    cluster::GroupTruthPolicy oracle{"oracle", truth};
 
     cluster::PlacementPolicy* policies[] = {&random, &statics, &online_lstsq,
                                             &online_knn, &oracle};
@@ -115,34 +187,52 @@ int main(int argc, char** argv) try {
       rows[p].stretch += run.mean_stretch;
       rows[p].slowdown += run.mean_corun_slowdown;
       rows[p].regret += run.mean_decision_regret;
+      rows[p].fallbacks += run.pairwise_fallbacks;
     }
   }
 
   harness::Table table{{"policy", "mean stretch", "co-run slowdown",
-                        "decision regret"}};
-  std::string csv = "policy,mean_stretch,corun_slowdown,decision_regret\n";
+                        "decision regret", "pairwise fallbacks"}};
+  std::string csv =
+      "policy,mean_stretch,corun_slowdown,decision_regret,"
+      "pairwise_fallbacks\n";
+  std::uint64_t total_fallbacks = 0;
   for (Row& r : rows) {
     r.stretch /= seeds;
     r.slowdown /= seeds;
     r.regret /= seeds;
+    total_fallbacks += r.fallbacks;
     table.add_row({r.name, harness::Table::fmt(r.stretch, 3),
                    harness::Table::fmt(r.slowdown, 3),
-                   harness::Table::fmt(r.regret, 4)});
+                   harness::Table::fmt(r.regret, 4),
+                   std::to_string(r.fallbacks)});
     csv += r.name + "," + harness::Table::fmt(r.stretch, 4) + "," +
            harness::Table::fmt(r.slowdown, 4) + "," +
-           harness::Table::fmt(r.regret, 5) + "\n";
+           harness::Table::fmt(r.regret, 5) + "," +
+           std::to_string(r.fallbacks) + "\n";
   }
   table.print(std::cout);
 
+  std::cout << "\npairwise-fallback count: " << total_fallbacks
+            << " (max-truth-arity=" << gcfg.max_arity << ", slots=" << slots
+            << (total_fallbacks == 0
+                    ? ") -- every billed group was truly measured\n"
+                    : ") -- groups above the measured arity were billed by "
+                      "additive composition\n");
+
   const double static_regret = rows[1].regret;
   const double online_regret = rows[2].regret;
+  const double oracle_regret = rows[4].regret;
   std::cout << "\nper-decision placement regret (machine time handed to "
-               "interference, billed at ground truth):\n"
+               "interference, billed at measured group truth):\n"
             << "  online-refined " << harness::Table::fmt(online_regret, 4)
             << " vs static-analytic "
             << harness::Table::fmt(static_regret, 4) << " -- "
             << (online_regret <= static_regret + 1e-9 ? "refinement pays"
                                                       : "REGRESSION")
+            << "\n  group-truth oracle "
+            << harness::Table::fmt(oracle_regret, 4)
+            << (oracle_regret <= 1e-9 ? " (zero by construction)" : "")
             << "\n";
   if (args.csv) std::cout << "\n" << csv;
   return 0;

@@ -12,9 +12,16 @@
 // 4. Report MAE / Spearman rho / pair-class confusion per model, and
 //    the scheduling regret: how much worse a schedule planned on the
 //    predicted matrix is when billed at measured cost.
+// 5. Re-baseline against *measured group truth*: a deterministic
+//    sample of 3-resident groups is truly measured (GroupTruth) and
+//    both the additive composition of measured pairs and the models'
+//    predict_group() are scored against it -- the additive-vs-measured
+//    gap the pairwise era could not see.
+#include <algorithm>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "harness/grouptruth.hpp"
 #include "harness/report.hpp"
 #include "predict/eval.hpp"
 
@@ -96,7 +103,67 @@ int main(int argc, char** argv) try {
     }
   }
 
-  std::cout << "cost: measured sweep = " << subset.size() * subset.size()
+  // -- Group-truth re-baseline -----------------------------------------
+  // Measured 3-resident groups (members at cores/3 threads so the trio
+  // fills the machine) vs the additive composition the pairwise era
+  // assumed was ground truth. The sample is a deterministic stride over
+  // all distinct triples, capped so this stays a side dish; the cap is
+  // printed, never silent.
+  if (subset.size() >= 3) {
+    harness::GroupTruth::Config gcfg;
+    gcfg.workloads = subset;
+    gcfg.opt = args.run_options();
+    gcfg.reps = reps;
+    gcfg.max_arity = 3;
+    gcfg.member_threads =
+        std::max(1u, gcfg.opt.machine.num_cores / gcfg.max_arity);
+    harness::GroupTruth truth{gcfg};
+
+    std::vector<std::vector<std::size_t>> triples;
+    for (std::size_t i = 0; i < subset.size(); ++i)
+      for (std::size_t j = i + 1; j < subset.size(); ++j)
+        for (std::size_t k = j + 1; k < subset.size(); ++k)
+          triples.push_back({i, j, k});
+    constexpr std::size_t kMaxGroups = 12;
+    std::vector<std::vector<std::size_t>> sample;
+    const std::size_t stride = std::max<std::size_t>(1, triples.size() / kMaxGroups);
+    for (std::size_t t = 0; t < triples.size() && sample.size() < kMaxGroups;
+         t += stride)
+      sample.push_back(triples[t]);
+
+    std::cout << "\n== group-truth re-baseline ==\n"
+              << "measuring " << sample.size() << " of " << triples.size()
+              << " distinct 3-resident groups (every member foreground once, "
+              << gcfg.member_threads << " threads/member) + the pairwise "
+              << "projection...\n";
+    truth.prefetch(sample, bench::plan_progress());
+    const harness::CorunMatrix& pairwise = truth.pairwise();
+    std::vector<predict::WorkloadSignature> gsigs;
+    for (std::size_t i = 0; i < subset.size(); ++i)
+      gsigs.push_back(
+          predict::WorkloadSignature::from(truth.solo(i), args.machine()));
+
+    std::vector<harness::GroupObservation> obs;
+    for (auto& o : truth.observations())
+      if (o.others.size() >= 2) obs.push_back(std::move(o));
+    const auto ge = predict::evaluate_groups(obs, gsigs, pairwise, analytic);
+    std::cout << ge.observations << " member observations:\n"
+              << "  composed measured pairs : MAE "
+              << harness::Table::fmt(ge.additive_mae, 4) << ", RMSE "
+              << harness::Table::fmt(ge.additive_rmse, 4) << ", max gap "
+              << harness::Table::fmt(ge.max_additive_gap, 4) << "\n"
+              << "  analytic predict_group  : MAE "
+              << harness::Table::fmt(ge.model_mae, 4) << ", RMSE "
+              << harness::Table::fmt(ge.model_rmse, 4) << ", Spearman "
+              << harness::Table::fmt(ge.model_spearman, 4) << "\n";
+    csv += "group-additive," + harness::Table::fmt(ge.additive_mae, 4) + "," +
+           harness::Table::fmt(ge.additive_rmse, 4) + ",,,\n";
+    csv += "group-analytic," + harness::Table::fmt(ge.model_mae, 4) + "," +
+           harness::Table::fmt(ge.model_rmse, 4) + "," +
+           harness::Table::fmt(ge.model_spearman, 4) + ",,\n";
+  }
+
+  std::cout << "\ncost: measured sweep = " << subset.size() * subset.size()
             << " co-runs; predictor = " << subset.size()
             << " solo runs + inference\n";
   if (args.csv) std::cout << "\n" << csv;

@@ -6,8 +6,11 @@
 // 2. Predict the matrix from the solo signatures alone (the O(N) path).
 // 3. Stream a synthetic arrival trace through a simulated cluster and
 //    compare placement policies: random, static-analytic (frozen
-//    prediction), online-refined (prediction + observe() feedback from
-//    every placement), and the oracle (truth matrix).
+//    prediction), online-refined (prediction + group-outcome feedback
+//    from every placement), and the oracle (a GroupTruthPolicy asking
+//    the ground-truth oracle directly -- here a MatrixTruth over the
+//    measured pair matrix; swap in a harness::GroupTruth to bill
+//    3+-slot machines at truly measured group slowdowns).
 //
 // Usage: schedule_cluster [job1 job2 ... jobN]
 //   default: G-CC fotonik3d swaptions IRSmk blackscholes CIFAR
@@ -56,11 +59,14 @@ int main(int argc, char** argv) {
       topt.mean_work / (0.8 * static_cast<double>(cfg.machines * cfg.slots));
   const auto trace = cluster::synthetic_trace(jobs.size(), topt);
 
+  // The ground truth as an oracle: additive over the measured pair
+  // matrix (exact for 2-slot machines, where every group IS a pair).
+  harness::MatrixTruth ground{truth};
   cluster::RandomPolicy random{topt.seed};
   cluster::CostModelPolicy statics{"static-analytic", predicted};
   cluster::OnlineRefinedPolicy online{"online-refined",
                                       std::move(online_model), sigs};
-  cluster::CostModelPolicy oracle{"oracle", truth};
+  cluster::GroupTruthPolicy oracle{"oracle", ground};
 
   std::cout << "\nstreaming " << trace.size() << " jobs onto "
             << cfg.machines << " machines x " << cfg.slots
@@ -84,11 +90,11 @@ int main(int argc, char** argv) {
               << "x, decision regret "
               << harness::Table::fmt(r.mean_decision_regret, 4) << "\n";
   };
-  show("random          ", cluster::simulate(cfg, truth, trace, random));
-  show("static-analytic ", cluster::simulate(cfg, truth, trace, statics));
-  const auto online_run = cluster::simulate(cfg, truth, trace, online);
+  show("random          ", cluster::simulate(cfg, ground, trace, random));
+  show("static-analytic ", cluster::simulate(cfg, ground, trace, statics));
+  const auto online_run = cluster::simulate(cfg, ground, trace, online);
   show("online-refined  ", online_run);
-  show("oracle          ", cluster::simulate(cfg, truth, trace, oracle));
+  show("oracle          ", cluster::simulate(cfg, ground, trace, oracle));
   std::cout << "\nonline refinement observed " << online.observed_cells()
             << "/" << jobs.size() * jobs.size()
             << " matrix cells while placing the stream\n";

@@ -5,8 +5,6 @@
 #include <limits>
 #include <stdexcept>
 
-#include "harness/scheduler.hpp"
-
 namespace coperf::cluster {
 
 namespace {
@@ -18,18 +16,18 @@ struct Running {
   double remaining = 0.0;  ///< solo-time units still to execute
 };
 
-void validate(const ClusterConfig& cfg, const harness::CorunMatrix& truth,
+void validate(const ClusterConfig& cfg, const harness::InterferenceTruth& truth,
               const std::vector<JobSpec>& trace) {
   if (cfg.machines == 0)
     throw std::invalid_argument{"simulate: need at least one machine"};
   if (cfg.slots < 2)
     throw std::invalid_argument{"simulate: co-run machines need >= 2 slots"};
   if (truth.size() == 0)
-    throw std::invalid_argument{"simulate: empty ground-truth matrix"};
+    throw std::invalid_argument{"simulate: empty ground truth"};
   double prev = 0.0;
   for (const JobSpec& j : trace) {
     if (j.type >= truth.size())
-      throw std::invalid_argument{"simulate: job type outside the matrix"};
+      throw std::invalid_argument{"simulate: job type outside the truth axis"};
     if (j.work <= 0.0)
       throw std::invalid_argument{"simulate: job work must be positive"};
     if (j.arrival < prev)
@@ -41,10 +39,11 @@ void validate(const ClusterConfig& cfg, const harness::CorunMatrix& truth,
 }  // namespace
 
 ClusterResult simulate(const ClusterConfig& cfg,
-                       const harness::CorunMatrix& truth,
+                       harness::InterferenceTruth& truth,
                        const std::vector<JobSpec>& trace,
                        PlacementPolicy& policy) {
   validate(cfg, truth, trace);
+  const std::uint64_t fallbacks_before = truth.fallbacks();
 
   std::vector<std::vector<Running>> machines(cfg.machines);
   std::deque<std::size_t> waiting;  // arrived, not yet placed (FIFO)
@@ -54,16 +53,15 @@ ClusterResult simulate(const ClusterConfig& cfg,
   std::size_t next_arrival = 0;
   std::size_t running_count = 0;
 
-  // Current slowdown of one resident: truth-matrix excesses of its
-  // co-residents compose additively (the same composition every
-  // cost-model policy estimates with).
+  // Current slowdown of one resident: the truth oracle's answer for
+  // its co-resident group (measured when the truth holds the group,
+  // additive pairwise composition otherwise).
   const auto slowdown_of = [&](std::size_t m, std::size_t slot) {
     std::vector<std::size_t> others;
     others.reserve(machines[m].size());
     for (std::size_t s = 0; s < machines[m].size(); ++s)
       if (s != slot) others.push_back(trace[machines[m][s].job].type);
-    return harness::corun_slowdown(truth, trace[machines[m][slot].job].type,
-                                   others);
+    return truth.slowdown(trace[machines[m][slot].job].type, others);
   };
 
   const auto drain_waiting = [&] {
@@ -94,12 +92,29 @@ ClusterResult simulate(const ClusterConfig& cfg,
         best = std::min(best, d);
       }
       res.mean_decision_regret += chosen - best;
-      // Report both orderings of every new co-resident pair: the truth
-      // the online policy refines itself with.
-      for (const Running& r : machines[m]) {
-        const std::size_t rt = trace[r.job].type;
-        policy.observe_pair(job.type, rt, truth.at(job.type, rt));
-        policy.observe_pair(rt, job.type, truth.at(rt, job.type));
+      // Report the full group outcome -- every member's true slowdown
+      // in the machine's new resident group. The new job leads, so a
+      // 2-resident group decomposes into the historical observe_pair
+      // order; 3+-resident outcomes are what the deconvolving online
+      // policy refines itself with.
+      if (!machines[m].empty()) {
+        std::vector<std::size_t> group;
+        group.reserve(machines[m].size() + 1);
+        group.push_back(job.type);
+        for (const Running& r : machines[m])
+          group.push_back(trace[r.job].type);
+        std::vector<double> slowdowns(group.size(), 1.0);
+        if (group.size() == 2) {
+          // Pair outcomes are raw 2-resident entries -- unclamped,
+          // exactly the feedback the legacy loop reported.
+          slowdowns[0] = truth.pair_entry(group[0], group[1]);
+          slowdowns[1] = truth.pair_entry(group[1], group[0]);
+        } else {
+          for (std::size_t i = 0; i < group.size(); ++i)
+            slowdowns[i] =
+                truth.slowdown(group[i], harness::others_excluding(group, i));
+        }
+        policy.observe_group(group, slowdowns);
       }
       machines[m].push_back({jid, job.work});
       ++running_count;
@@ -173,7 +188,16 @@ ClusterResult simulate(const ClusterConfig& cfg,
     res.mean_corun_slowdown /= static_cast<double>(res.outcomes.size());
     res.mean_decision_regret /= static_cast<double>(res.outcomes.size());
   }
+  res.pairwise_fallbacks = truth.fallbacks() - fallbacks_before;
   return res;
+}
+
+ClusterResult simulate(const ClusterConfig& cfg,
+                       const harness::CorunMatrix& truth,
+                       const std::vector<JobSpec>& trace,
+                       PlacementPolicy& policy) {
+  harness::MatrixTruth additive{truth};
+  return simulate(cfg, additive, trace, policy);
 }
 
 }  // namespace coperf::cluster

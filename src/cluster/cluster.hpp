@@ -6,21 +6,26 @@
 // II-B). This module makes that decision *online*, the way a warehouse
 // scheduler must: k machines with >= 2 co-run slots each, a stream of
 // job arrivals and departures, and a PlacementPolicy consulted per
-// arrival. Job progress follows the ground-truth co-run matrix --
-// pairwise excess slowdowns compose additively across a machine's
-// residents (harness::corun_slowdown) -- so after every placement the
-// simulator can report the truly observed pairwise slowdowns back to
-// the policy, which is how the online-refined policy converges on the
-// truth. Everything is deterministic: same trace + same policy state
-// => byte-identical audit log.
+// arrival. Job progress follows a ground-truth oracle
+// (harness::InterferenceTruth): measured N-resident group slowdowns
+// when a GroupTruth backs the oracle, or additive pairwise composition
+// over a CorunMatrix (MatrixTruth -- the legacy model, still what the
+// synthetic tests use). After every placement the simulator reports
+// the full group outcome -- every resident's true slowdown in the new
+// group -- back to the policy, which is how the online-refined policy
+// converges on the truth without dedicated pair runs. Everything is
+// deterministic: same trace + same policy state => byte-identical
+// audit log.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "cluster/placement.hpp"
 #include "cluster/trace.hpp"
+#include "harness/grouptruth.hpp"
 #include "harness/matrix.hpp"
 
 namespace coperf::cluster {
@@ -53,20 +58,35 @@ struct ClusterResult {
   double mean_corun_slowdown = 0.0;  ///< mean JobOutcome::corun_slowdown()
   double makespan = 0.0;             ///< time the last job finished
   /// Placement regret, billed per decision at ground truth: mean over
-  /// jobs of (true placement_delta of the chosen machine) - (true
-  /// placement_delta of the best available machine). Zero for the
-  /// oracle by construction; the decision-quality metric the regret
-  /// bench and tests compare, immune to downstream queueing chaos that
-  /// otherwise drowns out the placement signal in mean_stretch.
+  /// jobs of (true admission_delta of the chosen machine) - (true
+  /// admission_delta of the best available machine). Zero for the
+  /// group-truth oracle by construction; the decision-quality metric
+  /// the regret bench and tests compare, immune to downstream queueing
+  /// chaos that otherwise drowns out the placement signal in
+  /// mean_stretch.
   double mean_decision_regret = 0.0;
+  /// Ground-truth queries this run answered by additive pairwise
+  /// composition instead of a measurement (resident groups above the
+  /// truth's measured arity; every 3+-resident query for MatrixTruth).
+  std::uint64_t pairwise_fallbacks = 0;
 };
 
 /// Runs the event loop: arrivals are queued FIFO, admitted whenever a
 /// slot is free (policy picks the machine), and run to completion at a
-/// rate of 1/slowdown where the slowdown composes the truth matrix's
-/// pairwise entries over the machine's current residents. Each
-/// placement reports both orderings of every new (job, resident) pair
-/// to the policy via observe_pair().
+/// rate of 1/slowdown where the slowdown is the truth oracle's answer
+/// for the machine's current resident group. Each placement reports
+/// the full new group outcome (per-member true slowdowns) to the
+/// policy via observe_group(); for 2-resident groups that decomposes
+/// into the legacy observe_pair() feedback.
+ClusterResult simulate(const ClusterConfig& cfg,
+                       harness::InterferenceTruth& truth,
+                       const std::vector<JobSpec>& trace,
+                       PlacementPolicy& policy);
+
+/// Legacy entry point: additive pairwise composition over `truth`
+/// (wraps it in a MatrixTruth). Bit-identical to the pre-grouptruth
+/// simulator: clamped composition drives progress and billing, raw
+/// pair entries (sub-1.0 included) feed the observers.
 ClusterResult simulate(const ClusterConfig& cfg,
                        const harness::CorunMatrix& truth,
                        const std::vector<JobSpec>& trace,

@@ -39,6 +39,47 @@ double placement_delta(const harness::CorunMatrix& est, std::size_t job_type,
   return delta;
 }
 
+double placement_delta(harness::InterferenceTruth& truth, std::size_t job_type,
+                       double job_work, const MachineView& machine) {
+  std::vector<std::size_t> types;
+  std::vector<double> remaining;
+  types.reserve(machine.residents.size());
+  remaining.reserve(machine.residents.size());
+  for (const ResidentView& r : machine.residents) {
+    types.push_back(r.type);
+    remaining.push_back(std::max(0.0, r.remaining));
+  }
+  return truth.admission_delta(job_type, job_work, types, remaining);
+}
+
+GroupTruthPolicy::GroupTruthPolicy(std::string name,
+                                   harness::InterferenceTruth& truth)
+    : truth_(truth), name_(std::move(name)) {
+  if (truth_.size() == 0)
+    throw std::invalid_argument{"GroupTruthPolicy: empty truth"};
+}
+
+std::size_t GroupTruthPolicy::place(const JobSpec& job,
+                                    const std::vector<MachineView>& machines) {
+  if (job.type >= truth_.size())
+    throw std::out_of_range{"GroupTruthPolicy::place: job type outside truth"};
+  std::size_t best = machines.size();
+  double best_delta = std::numeric_limits<double>::infinity();
+  for (std::size_t m = 0; m < machines.size(); ++m) {
+    if (machines[m].free_slots == 0) continue;
+    const double delta =
+        placement_delta(truth_, job.type, job.work, machines[m]);
+    if (delta < best_delta) {
+      best_delta = delta;
+      best = m;
+    }
+  }
+  if (best == machines.size())
+    throw std::logic_error{name_ + "::place: no machine has a free slot"};
+  last_delta_ = best_delta;
+  return best;
+}
+
 std::size_t CostModelPolicy::place(const JobSpec& job,
                                    const std::vector<MachineView>& machines) {
   if (job.type >= estimate_.size())
@@ -69,7 +110,12 @@ OnlineRefinedPolicy::OnlineRefinedPolicy(
       sigs_(std::move(sigs)),
       observed_(sigs_.size(),
                 std::vector<double>(sigs_.size(),
-                                    std::numeric_limits<double>::quiet_NaN())) {
+                                    std::numeric_limits<double>::quiet_NaN())),
+      decon_(sigs_.size()) {
+  // Deconvolution starts from the model's predictions, not from
+  // zero-knowledge harmony: an early, under-determined group equation
+  // then adjusts a calibrated estimate instead of replacing it.
+  decon_.seed_prior(estimate_);
 }
 
 std::size_t OnlineRefinedPolicy::place(const JobSpec& job,
@@ -94,13 +140,59 @@ void OnlineRefinedPolicy::observe_pair(std::size_t fg_type,
   estimate_stale_ = true;
 }
 
+void OnlineRefinedPolicy::observe_group(const std::vector<std::size_t>& types,
+                                        const std::vector<double>& slowdowns) {
+  if (types.size() != slowdowns.size())
+    throw std::invalid_argument{
+        "OnlineRefinedPolicy: group types/slowdowns size mismatch"};
+  if (types.size() <= 2) {
+    // A 2-resident outcome is two exact pair samples: the measured
+    // fallback + model observe() path.
+    CostModelPolicy::observe_group(types, slowdowns);
+    return;
+  }
+  // 3+-resident outcome: one deconvolution equation per member. The
+  // signature-copying TrainingGroup is only built for models that
+  // actually absorb group samples (none of the shipped ones do).
+  const bool feed_model = model_->wants_group_samples();
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    if (types[i] >= sigs_.size())
+      throw std::out_of_range{
+          "OnlineRefinedPolicy: observed type outside matrix"};
+    const std::vector<std::size_t> others =
+        harness::others_excluding(types, i);
+    decon_.observe(types[i], others, slowdowns[i]);
+    if (feed_model) {
+      predict::TrainingGroup g;
+      g.fg = sigs_[types[i]];
+      for (const std::size_t o : others) g.others.push_back(sigs_[o]);
+      g.slowdown = slowdowns[i];
+      model_->observe_group(g);
+    }
+  }
+  estimate_stale_ = true;
+}
+
+std::size_t OnlineRefinedPolicy::deconvolved_cells() const {
+  std::size_t cells = 0;
+  for (std::size_t i = 0; i < sigs_.size(); ++i)
+    for (std::size_t j = 0; j < sigs_.size(); ++j)
+      if (std::isnan(observed_[i][j]) && decon_.support(i, j) > 0) ++cells;
+  return cells;
+}
+
 void OnlineRefinedPolicy::refresh_unobserved() {
   if (!estimate_stale_) return;
+  // Priority per cell: direct pair observation (pinned, skipped here)
+  // > deconvolved estimate from 3+-resident outcomes > model
+  // prediction.
   for (std::size_t i = 0; i < sigs_.size(); ++i)
     for (std::size_t j = 0; j < sigs_.size(); ++j)
       if (std::isnan(observed_[i][j]))
         estimate_.normalized[i][j] =
-            std::max(1.0, model_->predict(sigs_[i], sigs_[j]));
+            decon_.support(i, j) > 0
+                ? decon_.entry(i, j)
+                : std::max(1.0, model_->predict(sigs_[i], sigs_[j]));
   estimate_stale_ = false;
 }
 

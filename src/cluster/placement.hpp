@@ -2,12 +2,15 @@
 //
 // A PlacementPolicy answers one question per arrival: which machine
 // with a free slot should run this job? The cost-model policies answer
-// it from a slowdown matrix -- the measured truth (oracle), a
-// prediction frozen at admission time (static), or a prediction the
-// simulator refines after every placement by feeding truly observed
-// pairwise slowdowns back through InterferenceModel::observe()
-// (online-refined). Policies own all their randomness, so a fresh
-// policy with the same seed replays identically.
+// it from a slowdown matrix -- a prediction frozen at admission time
+// (static) or a prediction the simulator refines after every placement
+// by feeding truly observed group outcomes back (online-refined:
+// 2-resident outcomes pass through InterferenceModel::observe(),
+// 3+-resident outcomes feed a PairDeconvolver so pairwise refinement
+// needs no dedicated pair runs). GroupTruthPolicy asks the measured
+// group-truth oracle directly -- the zero-regret reference the regret
+// bench compares against. Policies own all their randomness, so a
+// fresh policy with the same seed replays identically.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +19,9 @@
 #include <vector>
 
 #include "cluster/trace.hpp"
+#include "harness/grouptruth.hpp"
 #include "harness/matrix.hpp"
+#include "predict/deconvolve.hpp"
 #include "predict/model.hpp"
 #include "util/rng.hpp"
 
@@ -45,6 +50,15 @@ struct MachineView {
 double placement_delta(const harness::CorunMatrix& est, std::size_t job_type,
                        double job_work, const MachineView& machine);
 
+/// The same delta priced by a ground-truth oracle instead of a matrix
+/// estimate: the job's true group slowdown for its own work plus the
+/// true slowdown delta it inflicts on each resident (measured group
+/// entries when the truth holds them, additive composition otherwise).
+/// The simulator bills every decision with this at ground truth;
+/// GroupTruthPolicy minimizes it directly.
+double placement_delta(harness::InterferenceTruth& truth, std::size_t job_type,
+                       double job_work, const MachineView& machine);
+
 class PlacementPolicy {
  public:
   virtual ~PlacementPolicy() = default;
@@ -61,6 +75,20 @@ class PlacementPolicy {
   virtual void observe_pair(std::size_t fg_type, std::size_t bg_type,
                             double slowdown) {
     (void)fg_type, (void)bg_type, (void)slowdown;
+  }
+
+  /// Ground-truth feedback after a placement: the machine's full new
+  /// resident group (new job first) and every member's true slowdown
+  /// in it. Default: a 2-resident outcome decomposes into the legacy
+  /// observe_pair() feedback (both orderings); larger groups are
+  /// ignored -- override to consume them (OnlineRefinedPolicy
+  /// deconvolves them into pairwise refinement).
+  virtual void observe_group(const std::vector<std::size_t>& types,
+                             const std::vector<double>& slowdowns) {
+    if (types.size() == 2 && slowdowns.size() == 2) {
+      observe_pair(types[0], types[1], slowdowns[0]);
+      observe_pair(types[1], types[0], slowdowns[1]);
+    }
   }
 
   /// Estimated cost delta of the last place() decision (log annotation).
@@ -106,15 +134,38 @@ class CostModelPolicy : public PlacementPolicy {
   double last_delta_ = 0.0;
 };
 
+/// Greedy marginal-cost placement priced directly by a ground-truth
+/// oracle (measured group entries where available). With a fully
+/// measured GroupTruth this is the true oracle: zero decision regret
+/// by construction, because it minimizes exactly the delta the
+/// simulator bills with.
+class GroupTruthPolicy final : public PlacementPolicy {
+ public:
+  GroupTruthPolicy(std::string name, harness::InterferenceTruth& truth);
+
+  std::string name() const override { return name_; }
+  std::size_t place(const JobSpec& job,
+                    const std::vector<MachineView>& machines) override;
+  double last_cost_delta() const override { return last_delta_; }
+
+ private:
+  harness::InterferenceTruth& truth_;
+  std::string name_;
+  double last_delta_ = 0.0;
+};
+
 /// CostModelPolicy that closes the loop: every *new* observed pairwise
 /// slowdown is fed to the model (kNN exemplar append / least-squares
 /// RLS; repeats of an already-seen identical observation are dropped,
 /// keeping the exemplar set bounded by the matrix size), observed
 /// cells override predictions outright (measured fallback), and
 /// still-unobserved cells are lazily re-predicted from the refined
-/// model at the next placement. The model must already be able to
-/// predict (trained, or analytic) because the initial estimate is
-/// derived from it.
+/// model at the next placement. 3+-resident group outcomes feed a
+/// PairDeconvolver whose least-squares pairwise estimates take over
+/// unpinned cells once a co-residency has support -- refinement works
+/// even when the cluster never runs a dedicated pair. The model must
+/// already be able to predict (trained, or analytic) because the
+/// initial estimate is derived from it.
 class OnlineRefinedPolicy final : public CostModelPolicy {
  public:
   OnlineRefinedPolicy(std::string name,
@@ -125,9 +176,14 @@ class OnlineRefinedPolicy final : public CostModelPolicy {
                     const std::vector<MachineView>& machines) override;
   void observe_pair(std::size_t fg_type, std::size_t bg_type,
                     double slowdown) override;
+  void observe_group(const std::vector<std::size_t>& types,
+                     const std::vector<double>& slowdowns) override;
 
   predict::InterferenceModel& model() { return *model_; }
   std::size_t observed_cells() const { return observed_count_; }
+  /// Cells currently served by deconvolved 3+-resident observations
+  /// (not pinned by a direct pair observation).
+  std::size_t deconvolved_cells() const;
 
  private:
   void refresh_unobserved();
@@ -136,6 +192,7 @@ class OnlineRefinedPolicy final : public CostModelPolicy {
   std::vector<predict::WorkloadSignature> sigs_;
   /// Last observed slowdown per cell; NaN = never observed.
   std::vector<std::vector<double>> observed_;
+  predict::PairDeconvolver decon_;
   std::size_t observed_count_ = 0;
   bool estimate_stale_ = false;
 };

@@ -40,12 +40,30 @@ void Table::print(std::ostream& os) const {
   for (const auto& row : rows_) line(row);
 }
 
+namespace {
+
+/// RFC 4180 field quoting: values holding a comma, quote, or newline
+/// are wrapped in double quotes with embedded quotes doubled, so a
+/// workload or region name like "G-PR, warm" cannot shift columns.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out{'"'};
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 std::string Table::to_csv() const {
   std::ostringstream os;
   auto emit = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
       if (c) os << ',';
-      os << cells[c];
+      os << csv_field(cells[c]);
     }
     os << '\n';
   };
@@ -148,8 +166,15 @@ constexpr const char* kRunCsvHeader =
     "footprint_bytes,hit_cycle_limit,cpi,ipc,llc_mpki,l2_pcp,ll";
 
 void csv_run_row(std::ostringstream& os, const RunResult& r) {
-  os << r.workload << ',' << r.threads << ',' << r.cycles << ','
-     << jnum(r.seconds) << ',' << r.stats.instructions << ','
+  os << csv_field(r.workload) << ',' << r.threads << ',';
+  // A cycle-limit-flagged run never finished: its runtime is
+  // undefined, not the cycle count the limit happened to cut it at.
+  // Progress counters (instructions, bandwidth) remain real.
+  if (r.hit_cycle_limit)
+    os << "nan,nan,";
+  else
+    os << r.cycles << ',' << jnum(r.seconds) << ',';
+  os << r.stats.instructions << ','
      << jnum(r.avg_bw_gbs) << ',' << r.footprint_bytes << ','
      << (r.hit_cycle_limit ? 1 : 0) << ',' << jnum(r.metrics.cpi) << ','
      << jnum(r.metrics.ipc) << ',' << jnum(r.metrics.llc_mpki) << ','
@@ -318,10 +343,13 @@ std::string to_csv(const CorunResult& c) {
     os << line << ",\n";
   }
   const perf::Metrics bg = perf::Metrics::from(c.bg_stats);
-  os << "bg," << c.bg_workload << ",,,," << c.bg_stats.instructions << ','
-     << jnum(c.bg_avg_bw_gbs) << ",,," << jnum(bg.cpi) << ',' << jnum(bg.ipc)
-     << ',' << jnum(bg.llc_mpki) << ',' << jnum(bg.l2_pcp) << ','
-     << jnum(bg.ll) << ',' << c.bg_runs_completed << '\n';
+  // The background never runs to completion, so its runtime fields are
+  // nan (undefined), consistent with cycle-limit-flagged members.
+  os << "bg," << csv_field(c.bg_workload) << ",,nan,nan,"
+     << c.bg_stats.instructions << ',' << jnum(c.bg_avg_bw_gbs) << ",,,"
+     << jnum(bg.cpi) << ',' << jnum(bg.ipc) << ',' << jnum(bg.llc_mpki) << ','
+     << jnum(bg.l2_pcp) << ',' << jnum(bg.ll) << ',' << c.bg_runs_completed
+     << '\n';
   return os.str();
 }
 
@@ -330,8 +358,8 @@ std::string to_csv(const CorunMatrix& m) {
   os << "foreground,background,normalized_runtime\n";
   for (std::size_t fg = 0; fg < m.size(); ++fg)
     for (std::size_t bg = 0; bg < m.size(); ++bg)
-      os << m.workloads[fg] << ',' << m.workloads[bg] << ','
-         << Table::fmt(m.at(fg, bg), 4) << '\n';
+      os << csv_field(m.workloads[fg]) << ',' << csv_field(m.workloads[bg])
+         << ',' << Table::fmt(m.at(fg, bg), 4) << '\n';
   return os.str();
 }
 
@@ -344,8 +372,8 @@ std::string to_csv(const std::vector<ScalabilityResult>& s) {
   os << "workload,threads,cycles,speedup,bw_gbs,class\n";
   for (const auto& r : s)
     for (std::size_t i = 0; i < r.threads.size(); ++i)
-      os << r.workload << ',' << r.threads[i] << ',' << r.cycles[i] << ','
-         << jnum(r.speedup[i]) << ',' << jnum(r.bw_gbs[i]) << ','
+      os << csv_field(r.workload) << ',' << r.threads[i] << ',' << r.cycles[i]
+         << ',' << jnum(r.speedup[i]) << ',' << jnum(r.bw_gbs[i]) << ','
          << to_string(r.cls) << '\n';
   return os.str();
 }
@@ -358,8 +386,8 @@ std::string to_csv(const std::vector<PrefetchSensitivity>& p) {
   std::ostringstream os;
   os << "workload,cycles_on,cycles_off,speedup_ratio,bw_on_gbs,bw_off_gbs\n";
   for (const auto& s : p)
-    os << s.workload << ',' << s.cycles_on << ',' << s.cycles_off << ','
-       << jnum(s.speedup_ratio) << ',' << jnum(s.bw_on_gbs) << ','
+    os << csv_field(s.workload) << ',' << s.cycles_on << ',' << s.cycles_off
+       << ',' << jnum(s.speedup_ratio) << ',' << jnum(s.bw_on_gbs) << ','
        << jnum(s.bw_off_gbs) << '\n';
   return os.str();
 }

@@ -173,6 +173,50 @@ EvalResult leave_one_out(
   return e;
 }
 
+GroupEval evaluate_groups(const std::vector<harness::GroupObservation>& obs,
+                          const std::vector<WorkloadSignature>& sigs,
+                          const harness::CorunMatrix& measured_pairs,
+                          const InterferenceModel& model) {
+  if (measured_pairs.size() != sigs.size())
+    throw std::invalid_argument{
+        "evaluate_groups: pairwise matrix / signature axis mismatch"};
+  GroupEval e;
+  std::vector<double> measured_v, model_v;
+  for (const harness::GroupObservation& o : obs) {
+    if (o.others.empty()) continue;
+    if (o.type >= sigs.size())
+      throw std::out_of_range{"evaluate_groups: type outside the axis"};
+    std::vector<WorkloadSignature> others;
+    others.reserve(o.others.size());
+    for (const std::size_t t : o.others) {
+      if (t >= sigs.size())
+        throw std::out_of_range{"evaluate_groups: co-resident outside axis"};
+      others.push_back(sigs[t]);
+    }
+    const double predicted = model.predict_group(sigs[o.type], others);
+    const double composed =
+        harness::corun_slowdown(measured_pairs, o.type, o.others);
+    measured_v.push_back(o.slowdown);
+    model_v.push_back(predicted);
+    e.model_mae += std::abs(predicted - o.slowdown);
+    e.model_rmse += (predicted - o.slowdown) * (predicted - o.slowdown);
+    e.additive_mae += std::abs(composed - o.slowdown);
+    e.additive_rmse += (composed - o.slowdown) * (composed - o.slowdown);
+    e.max_additive_gap =
+        std::max(e.max_additive_gap, std::abs(composed - o.slowdown));
+  }
+  e.observations = measured_v.size();
+  if (e.observations > 0) {
+    const double n = static_cast<double>(e.observations);
+    e.model_mae /= n;
+    e.model_rmse = std::sqrt(e.model_rmse / n);
+    e.additive_mae /= n;
+    e.additive_rmse = std::sqrt(e.additive_rmse / n);
+    e.model_spearman = pearson(ranks(measured_v), ranks(model_v));
+  }
+  return e;
+}
+
 SchedulingComparison compare_scheduling(const harness::CorunMatrix& measured,
                                         const harness::CorunMatrix& predicted,
                                         const std::vector<std::size_t>& jobs) {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "harness/grouptruth.hpp"
 #include "harness/scheduler.hpp"
 #include "predict/model.hpp"
 #include "predict/predicted_matrix.hpp"
@@ -69,5 +70,30 @@ struct SchedulingComparison {
 SchedulingComparison compare_scheduling(const harness::CorunMatrix& measured,
                                         const harness::CorunMatrix& predicted,
                                         const std::vector<std::size_t>& jobs);
+
+/// Accuracy against *measured group truth* -- the re-baseline. Each
+/// observation is one member of a measured N-resident group; the model
+/// is scored by predict_group(), and the additive composition of the
+/// measured pairwise matrix (the pre-grouptruth ground "truth") is
+/// scored alongside it, so the additive-vs-measured gap is a first-
+/// class number instead of an assumption.
+struct GroupEval {
+  std::size_t observations = 0;
+  double model_mae = 0.0;
+  double model_rmse = 0.0;
+  double model_spearman = 0.0;  ///< model predictions vs measured, ranks
+  double additive_mae = 0.0;    ///< composed measured pairs vs measured
+  double additive_rmse = 0.0;
+  double max_additive_gap = 0.0;  ///< worst |measured - composed| member
+};
+
+/// Scores `model` and the additive-composition baseline over measured
+/// group observations (type indices refer to `sigs` / the axis of
+/// `measured_pairs`, which must agree). Observations with fewer than
+/// one co-resident are skipped.
+GroupEval evaluate_groups(const std::vector<harness::GroupObservation>& obs,
+                          const std::vector<WorkloadSignature>& sigs,
+                          const harness::CorunMatrix& measured_pairs,
+                          const InterferenceModel& model);
 
 }  // namespace coperf::predict

@@ -47,6 +47,22 @@ std::size_t pair_feature_count() {
   return n;
 }
 
+double InterferenceModel::predict_group(
+    const WorkloadSignature& fg,
+    const std::vector<WorkloadSignature>& others) const {
+  // Additive composition of pairwise predictions -- the same shape
+  // harness::corun_slowdown gives a measured matrix, so a predicted
+  // group cost is comparable to a composed measured one.
+  double excess = 0.0;
+  for (const WorkloadSignature& bg : others)
+    excess += predict(fg, bg) - 1.0;
+  return std::max(1.0, 1.0 + excess);
+}
+
+void InterferenceModel::observe_group(const TrainingGroup& g) {
+  if (g.others.size() == 1) observe({g.fg, g.others.front(), g.slowdown});
+}
+
 // ---------------------------------------------------------------------
 // BandwidthContentionModel
 // ---------------------------------------------------------------------

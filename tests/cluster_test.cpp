@@ -8,7 +8,9 @@
 #include <sstream>
 
 #include "cluster/cluster.hpp"
+#include "harness/grouptruth.hpp"
 #include "harness/matrix.hpp"
+#include "harness/scheduler.hpp"
 #include "predict/predicted_matrix.hpp"
 
 namespace coperf::cluster {
@@ -201,6 +203,196 @@ TEST(Cluster, SimulateValidatesItsInput) {
   EXPECT_THROW(
       simulate({2, 2}, truth, {{0, 0, 5.0, 1.0}, {1, 0, 1.0, 1.0}}, policy),
       std::invalid_argument);
+}
+
+// Non-additive group-truth fixture: the pairwise matrix says the
+// victim barely suffers next to one hog (1.1x), but a SECOND hog
+// pushes it past a regime change to 4.0x -- a slowdown no additive
+// composition of pair entries (1 + 2*0.1 = 1.2) predicts. Modeled on
+// the paper's observation that co-location effects stack
+// super-linearly once the LLC/channel saturates.
+class RegimeChangeTruth final : public harness::InterferenceTruth {
+ public:
+  RegimeChangeTruth() : matrix_(regime_matrix()) {}
+
+  static harness::CorunMatrix regime_matrix() {
+    harness::CorunMatrix m;
+    m.workloads = {"hog", "victim", "medium"};
+    m.solo_cycles = {1'000'000, 1'000'000, 1'000'000};
+    m.normalized = {
+        {1.20, 1.05, 1.10},  // hog    | {hog victim medium}
+        {1.10, 1.02, 1.40},  // victim
+        {1.30, 1.05, 1.15},  // medium
+    };
+    return m;
+  }
+
+  std::size_t size() const override { return matrix_.size(); }
+  const harness::CorunMatrix& pairwise() override { return matrix_; }
+
+  double slowdown(std::size_t type,
+                  const std::vector<std::size_t>& others) override {
+    std::size_t hogs = 0;
+    for (const std::size_t o : others) hogs += o == 0 ? 1 : 0;
+    if (type == 1 && hogs >= 2) return 4.0;  // the regime change
+    if (others.size() >= 2) ++fallbacks_;
+    return harness::corun_slowdown(matrix_, type, others);
+  }
+
+ private:
+  harness::CorunMatrix matrix_;
+};
+
+// The refactor guard: simulate() on a MatrixTruth must reproduce the
+// legacy matrix-driven simulator byte for byte -- same audit log, same
+// regret -- across policy families.
+TEST(GroupTruthCluster, MatrixTruthIsByteIdenticalToLegacySimulate) {
+  const auto truth = synthetic_truth();
+  const auto sigs = synthetic_sigs();
+  TraceOptions topt;
+  topt.jobs = 400;
+  topt.seed = 17;
+  const auto trace = synthetic_trace(truth.size(), topt);
+  const ClusterConfig cfg{3, 2};
+
+  for (int which = 0; which < 3; ++which) {
+    const auto make_run = [&](auto&& run) {
+      switch (which) {
+        case 0: {
+          RandomPolicy p{5};
+          return run(p);
+        }
+        case 1: {
+          CostModelPolicy p{"oracle", truth};
+          return run(p);
+        }
+        default: {
+          OnlineRefinedPolicy p{"online", distilled_model(truth, sigs), sigs};
+          return run(p);
+        }
+      }
+    };
+    const ClusterResult legacy = make_run(
+        [&](PlacementPolicy& p) { return simulate(cfg, truth, trace, p); });
+    const ClusterResult oracle_backed = make_run([&](PlacementPolicy& p) {
+      harness::MatrixTruth t{truth};
+      return simulate(cfg, t, trace, p);
+    });
+    EXPECT_EQ(legacy.log.str(truth.workloads),
+              oracle_backed.log.str(truth.workloads))
+        << "policy family " << which;
+    EXPECT_DOUBLE_EQ(legacy.mean_decision_regret,
+                     oracle_backed.mean_decision_regret);
+    EXPECT_EQ(legacy.pairwise_fallbacks, oracle_backed.pairwise_fallbacks);
+  }
+}
+
+// The simulator must *run* jobs at group-truth rates, not composed
+// ones: a victim packed with two hogs progresses at 4.0x, so on one
+// 3-slot machine its unit of work finishes at t=4.0 exactly --
+// additive composition would finish it at 1 + 2*(1.1-1) = 1.2.
+TEST(GroupTruthCluster, ProgressFollowsGroupTruthNotComposition) {
+  // hog(10) hog(10) victim(1), all at t=0, one 3-slot machine.
+  const std::vector<JobSpec> trace = {
+      {0, 0, 0.0, 10.0}, {1, 0, 0.0, 10.0}, {2, 1, 0.0, 1.0}};
+  RegimeChangeTruth truth;
+  RandomPolicy policy{1};  // single machine: no choice to make
+  const auto res = simulate({1, 3}, truth, trace, policy);
+  EXPECT_DOUBLE_EQ(res.outcomes[2].finish, 4.0)
+      << "the victim must run at the measured group slowdown";
+
+  RandomPolicy again{1};
+  const auto additive =
+      simulate({1, 3}, RegimeChangeTruth::regime_matrix(), trace, again);
+  EXPECT_DOUBLE_EQ(additive.outcomes[2].finish, 1.2)
+      << "the legacy additive path composes 1 + 2*(1.1-1)";
+  EXPECT_GT(additive.pairwise_fallbacks, 0u)
+      << "MatrixTruth must count composed 3-resident queries";
+}
+
+// Where group truth and composition disagree, placement must follow
+// group truth: with a two-hog machine and a medium machine both open,
+// the additive oracle happily adds the victim to the hogs (pair
+// entries say 1.1x each), the group-truth oracle routes it to the
+// medium machine -- and at measured group truth that additive choice
+// is billed as real regret.
+TEST(GroupTruthCluster, GroupTruthOracleAvoidsTheRegimeChange) {
+  // Residents are nearly done (0.1 work left), so the victim's own
+  // slowdown dominates the delta instead of the inflicted terms.
+  const JobSpec victim{0, 1, 0.0, 1.0};
+  const std::vector<MachineView> views = {
+      {1, {{0, 0.1}, {0, 0.1}}},  // two hogs, one slot free
+      {2, {{2, 0.1}}},            // one medium, two slots free
+  };
+
+  CostModelPolicy additive_oracle{"additive",
+                                  RegimeChangeTruth::regime_matrix()};
+  EXPECT_EQ(additive_oracle.place(victim, views), 0u)
+      << "pair entries make the two-hog machine look cheapest";
+
+  RegimeChangeTruth truth;
+  GroupTruthPolicy group_oracle{"group-oracle", truth};
+  EXPECT_EQ(group_oracle.place(victim, views), 1u)
+      << "group truth says the two-hog machine quadruples the victim";
+
+  // What the simulator bills each choice at measured group truth: the
+  // additive oracle's pick is strictly worse, i.e. positive regret;
+  // the group-truth oracle picked the argmin, i.e. zero regret.
+  const double hog_machine =
+      placement_delta(truth, victim.type, victim.work, views[0]);
+  const double medium_machine =
+      placement_delta(truth, victim.type, victim.work, views[1]);
+  EXPECT_GT(hog_machine, medium_machine);
+  EXPECT_GT(hog_machine - medium_machine, 2.0)
+      << "the regime change dominates the delta (3.0 work units of "
+         "victim excess alone)";
+}
+
+// 3+-resident outcomes reach the policy as full group observations and
+// refine the pairwise estimate by deconvolution -- no dedicated pair
+// runs. Feeding all 3-way groups synthesized from an additive truth
+// must reconstruct its pairwise entries.
+TEST(GroupTruthCluster, OnlineRefinedDeconvolvesGroupOutcomes) {
+  const auto truth = synthetic_truth();
+  const auto sigs = synthetic_sigs();
+  // Deliberately wrong prior (everything harmonious): convergence is
+  // attributable to the group observations alone.
+  harness::CorunMatrix flat = truth;
+  for (auto& row : flat.normalized)
+    for (double& cell : row) cell = 1.0;
+  OnlineRefinedPolicy online{"online", distilled_model(flat, sigs), sigs};
+
+  const std::size_t n = truth.size();
+  harness::MatrixTruth additive{truth};
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a; b < n; ++b)
+      for (std::size_t c = b; c < n; ++c) {
+        const std::vector<std::size_t> group = {a, b, c};
+        std::vector<double> slowdowns;
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          std::vector<std::size_t> others;
+          for (std::size_t j = 0; j < group.size(); ++j)
+            if (j != i) others.push_back(group[j]);
+          slowdowns.push_back(additive.slowdown(group[i], others));
+        }
+        online.observe_group(group, slowdowns);
+      }
+  EXPECT_EQ(online.observed_cells(), 0u)
+      << "no pair was ever observed directly";
+  EXPECT_EQ(online.deconvolved_cells(), n * n);
+
+  // The estimate refreshes lazily at the next placement.
+  const JobSpec job{0, 0, 0.0, 1.0};
+  const std::vector<MachineView> open = {{2, {}}};
+  (void)online.place(job, open);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(online.estimate().at(i, j), truth.at(i, j), 1e-2)
+          << "deconvolved cell (" << i << "," << j << ")";
+
+  EXPECT_THROW(online.observe_group({0, 1, 9}, {1.0, 1.0, 1.0}),
+               std::out_of_range);
+  EXPECT_THROW(online.observe_group({0, 1, 2}, {1.0}), std::invalid_argument);
 }
 
 TEST(Placement, OnlineEstimateConvergesToObservedTruth) {

@@ -236,6 +236,50 @@ TEST(Report, MatrixJsonAndCsvAgreeWithAccessors) {
   EXPECT_EQ(c, matrix_to_csv(m));
 }
 
+// Satellite regression: CSV fields holding commas are RFC-4180-quoted
+// and cycle-limit-flagged (unfinished) members report nan runtimes
+// instead of the bogus cycle count the limit cut them at.
+TEST(Report, CsvQuotesCommasAndFlagsUnfinishedMembersAsNan) {
+  RunResult finished;
+  finished.workload = "G-PR, warm";  // a name with a comma and a space
+  finished.threads = 2;
+  finished.cycles = 1234;
+  finished.seconds = 0.5;
+  RunResult unfinished = finished;
+  unfinished.workload = "Stream";
+  unfinished.hit_cycle_limit = true;
+
+  const std::string fcsv = report::to_csv(finished);
+  EXPECT_NE(fcsv.find("\"G-PR, warm\",2,1234,"), std::string::npos)
+      << "comma-holding names must be quoted so columns stay aligned";
+  EXPECT_EQ(fcsv.find("nan"), std::string::npos);
+
+  const std::string ucsv = report::to_csv(unfinished);
+  EXPECT_NE(ucsv.find("Stream,2,nan,nan,"), std::string::npos)
+      << "an unfinished run has no defined cycles/seconds";
+  EXPECT_NE(ucsv.find(",1,"), std::string::npos) << "hit_cycle_limit column";
+
+  GroupResult g;
+  g.members = {finished, unfinished};
+  g.runs_completed = {0, 0};
+  const std::string gcsv = report::to_csv(g);
+  EXPECT_NE(gcsv.find("0,\"G-PR, warm\",2,1234,"), std::string::npos);
+  EXPECT_NE(gcsv.find("1,Stream,2,nan,nan,"), std::string::npos)
+      << "the cycle-limit-flagged member must emit nan consistently";
+
+  // Quoting applies to every name-bearing emitter.
+  CorunMatrix m;
+  m.workloads = {"a,b", "c\"d"};
+  m.solo_cycles = {1, 1};
+  m.normalized = {{1.0, 1.5}, {2.0, 1.0}};
+  const std::string mcsv = report::to_csv(m);
+  EXPECT_NE(mcsv.find("\"a,b\",\"c\"\"d\",1.5000"), std::string::npos);
+
+  Table t{{"name", "value"}};
+  t.add_row({"x,y", "1"});
+  EXPECT_NE(t.to_csv().find("\"x,y\",1"), std::string::npos);
+}
+
 TEST(Report, ScalabilityAndPrefetchEmitters) {
   ScalabilityResult s;
   s.workload = "W";

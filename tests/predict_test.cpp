@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "harness/classify.hpp"
+#include "harness/scheduler.hpp"
+#include "predict/deconvolve.hpp"
 #include "predict/eval.hpp"
 #include "predict/model.hpp"
 #include "predict/predicted_matrix.hpp"
@@ -432,6 +434,191 @@ TEST(Eval, LeaveOneOutPredictsHeldOutRows) {
       leave_one_out(truth, {sigs[0]},
                     [] { return std::make_unique<KnnModel>(); }),
       std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Group-aware path: predict_group, observe_group, deconvolution.
+
+/// A known additive pairwise truth over 4 synthetic types.
+harness::CorunMatrix additive_truth4() {
+  harness::CorunMatrix m;
+  m.workloads = {"hog", "victim", "neutral", "medium"};
+  m.solo_cycles = {1, 1, 1, 1};
+  m.normalized = {
+      {1.60, 1.10, 1.05, 1.20},
+      {2.20, 1.05, 1.02, 1.40},
+      {1.05, 1.01, 1.00, 1.02},
+      {1.50, 1.10, 1.03, 1.25},
+  };
+  return m;
+}
+
+/// Every 3-resident multiset observation synthesized additively from
+/// the matrix (each member foreground once, duplicates included so the
+/// diagonal is constrained too).
+std::vector<harness::GroupObservation> additive_observations(
+    const harness::CorunMatrix& m) {
+  std::vector<harness::GroupObservation> obs;
+  const std::size_t n = m.size();
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a; b < n; ++b)
+      for (std::size_t c = b; c < n; ++c) {
+        const std::vector<std::size_t> group = {a, b, c};
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          harness::GroupObservation o;
+          o.type = group[i];
+          for (std::size_t j = 0; j < group.size(); ++j)
+            if (j != i) o.others.push_back(group[j]);
+          o.slowdown = harness::corun_slowdown(m, o.type, o.others);
+          obs.push_back(std::move(o));
+        }
+      }
+  return obs;
+}
+
+TEST(Deconvolve, RecoversPairwiseEntriesFromGroupObservations) {
+  const harness::CorunMatrix truth = additive_truth4();
+  const harness::CorunMatrix recovered =
+      deconvolve_pairwise(truth.workloads, additive_observations(truth));
+  ASSERT_EQ(recovered.size(), truth.size());
+  for (std::size_t fg = 0; fg < truth.size(); ++fg)
+    for (std::size_t bg = 0; bg < truth.size(); ++bg)
+      EXPECT_NEAR(recovered.at(fg, bg), truth.at(fg, bg), 1e-2)
+          << "pairwise entry (" << fg << "," << bg
+          << ") not recovered from 3-resident observations";
+}
+
+TEST(Deconvolve, TracksSupportAndValidatesInput) {
+  PairDeconvolver d{3};
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.observations(), 0u);
+  EXPECT_EQ(d.support(0, 1), 0u);
+  EXPECT_DOUBLE_EQ(d.entry(0, 1), 1.0) << "the prior is harmony";
+
+  d.observe(0, {1, 2}, 1.5);
+  EXPECT_EQ(d.observations(), 1u);
+  EXPECT_EQ(d.support(0, 1), 1u);
+  EXPECT_EQ(d.support(0, 2), 1u);
+  EXPECT_EQ(d.support(1, 0), 0u) << "support is per foreground row";
+  // One equation x01 + x02 = 0.5: least-norm splits the excess.
+  EXPECT_GT(d.entry(0, 1), 1.0);
+
+  EXPECT_THROW(d.observe(9, {0}, 1.1), std::out_of_range);
+  EXPECT_THROW(d.observe(0, {9}, 1.1), std::out_of_range);
+  EXPECT_THROW(d.observe(0, {}, 1.1), std::invalid_argument);
+  EXPECT_THROW((void)d.entry(3, 0), std::out_of_range);
+  EXPECT_THROW(PairDeconvolver(0), std::invalid_argument);
+  EXPECT_THROW(PairDeconvolver(2, 0.0), std::invalid_argument);
+}
+
+TEST(Deconvolve, SeededPriorIsAdjustedNotReplaced) {
+  const harness::CorunMatrix truth = additive_truth4();
+  PairDeconvolver d{truth.size()};
+  d.seed_prior(truth);
+  for (std::size_t fg = 0; fg < truth.size(); ++fg)
+    for (std::size_t bg = 0; bg < truth.size(); ++bg)
+      EXPECT_DOUBLE_EQ(d.entry(fg, bg), truth.at(fg, bg));
+
+  // One equation consistent with the prior must not degrade any cell:
+  // the RLS innovation is ~0, so the estimate stays at the truth
+  // instead of snapping to a least-norm split of the excess.
+  const double consistent = harness::corun_slowdown(truth, 1, {0, 3});
+  d.observe(1, {0, 3}, consistent);
+  for (std::size_t bg = 0; bg < truth.size(); ++bg)
+    EXPECT_NEAR(d.entry(1, bg), truth.at(1, bg), 1e-9)
+        << "a consistent observation must leave the calibrated prior alone";
+
+  EXPECT_THROW(d.seed_prior(truth), std::logic_error)
+      << "prior after observations would silently discard evidence";
+  PairDeconvolver fresh{2};
+  EXPECT_THROW(fresh.seed_prior(truth), std::invalid_argument);
+}
+
+TEST(Model, PredictGroupDefaultsToAdditiveComposition) {
+  const auto sigs = synthetic_suite();
+  const BandwidthContentionModel model;
+  const double p1 = model.predict(sigs[0], sigs[1]);
+  const double p2 = model.predict(sigs[0], sigs[2]);
+  EXPECT_DOUBLE_EQ(model.predict_group(sigs[0], {sigs[1]}), std::max(1.0, p1));
+  EXPECT_DOUBLE_EQ(model.predict_group(sigs[0], {sigs[1], sigs[2]}),
+                   std::max(1.0, 1.0 + (p1 - 1.0) + (p2 - 1.0)));
+  EXPECT_DOUBLE_EQ(model.predict_group(sigs[0], {}), 1.0);
+}
+
+TEST(Model, ObserveGroupFoldsExactPairsAndIgnoresLargerGroups) {
+  const auto sigs = synthetic_suite();
+  LeastSquaresModel via_pair, via_group, untouched;
+  via_pair.observe({sigs[0], sigs[1], 1.7});
+  via_group.observe_group({sigs[0], {sigs[1]}, 1.7});
+  EXPECT_EQ(via_pair.weights(), via_group.weights())
+      << "a 2-resident group observation is exactly one pair sample";
+  untouched.observe_group({sigs[0], {sigs[1], sigs[2]}, 1.9});
+  EXPECT_TRUE(untouched.weights().empty())
+      << "3+-resident samples are deconvolution's job, not raw observe()";
+}
+
+TEST(Deconvolve, TrainingPairsFromGroupsFeedTrainableModels) {
+  const harness::CorunMatrix truth = additive_truth4();
+  // Signature-keyed groups: representatives per axis name.
+  std::vector<WorkloadSignature> sigs;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    auto s = synthetic_suite()[i];
+    s.workload = truth.workloads[i];
+    sigs.push_back(std::move(s));
+  }
+  std::vector<TrainingGroup> groups;
+  for (const auto& o : additive_observations(truth)) {
+    TrainingGroup g;
+    g.fg = sigs[o.type];
+    for (const std::size_t t : o.others) g.others.push_back(sigs[t]);
+    g.slowdown = o.slowdown;
+    groups.push_back(std::move(g));
+  }
+  const auto pairs = training_pairs_from_groups(groups);
+  ASSERT_EQ(pairs.size(), truth.size() * truth.size())
+      << "every co-residency has support in the full 3-way sweep";
+  for (const TrainingPair& p : pairs) {
+    std::size_t fg = truth.size(), bg = truth.size();
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      if (truth.workloads[i] == p.fg.workload) fg = i;
+      if (truth.workloads[i] == p.bg.workload) bg = i;
+    }
+    ASSERT_LT(fg, truth.size());
+    ASSERT_LT(bg, truth.size());
+    EXPECT_NEAR(p.slowdown, truth.at(fg, bg), 1e-2);
+  }
+  EXPECT_TRUE(training_pairs_from_groups({}).empty());
+}
+
+TEST(Eval, EvaluateGroupsScoresModelAndAdditiveBaseline) {
+  const harness::CorunMatrix pairs = additive_truth4();
+  std::vector<WorkloadSignature> sigs;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    auto s = synthetic_suite()[i];
+    s.workload = pairs.workloads[i];
+    sigs.push_back(std::move(s));
+  }
+  // Measured truth IS the additive composition here, so the additive
+  // baseline scores perfectly while the analytic model does not.
+  const auto obs = additive_observations(pairs);
+  const BandwidthContentionModel model;
+  const GroupEval e = evaluate_groups(obs, sigs, pairs, model);
+  EXPECT_EQ(e.observations, obs.size());
+  EXPECT_NEAR(e.additive_mae, 0.0, 1e-12);
+  EXPECT_NEAR(e.max_additive_gap, 0.0, 1e-12);
+  EXPECT_GE(e.model_mae, 0.0);
+
+  // A non-additive measured truth shows up as a positive additive gap.
+  auto skewed = obs;
+  skewed.front().slowdown += 1.0;
+  const GroupEval g = evaluate_groups(skewed, sigs, pairs, model);
+  EXPECT_GT(g.additive_mae, 0.0);
+  EXPECT_NEAR(g.max_additive_gap, 1.0, 1e-12);
+
+  harness::CorunMatrix wrong_axis = pairs;
+  wrong_axis.workloads.pop_back();
+  EXPECT_THROW(evaluate_groups(obs, sigs, wrong_axis, model),
+               std::invalid_argument);
 }
 
 // The acceptance-criteria path: solo signatures -> analytic prediction
