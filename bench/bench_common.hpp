@@ -11,6 +11,10 @@
 //   --subset=A,B  restrict matrix-style benches to named workloads
 //   --size=S      explicit input size (tiny|small|native), overrides
 //                 the --quick/--native default
+//   --trace=FILE  record a Chrome trace of the run (Perfetto-loadable);
+//                 written at exit
+//   --metrics[=FILE]  print the obs metrics snapshot at exit (stdout,
+//                 or FILE when given)
 //
 // Malformed flag values (--reps=abc, --threads=) are rejected with a
 // clear diagnostic and exit code 2 instead of an uncaught exception.
@@ -18,8 +22,11 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <optional>
@@ -41,6 +48,11 @@ struct BenchArgs {
   std::vector<std::string> subset;
   /// Explicit --size=tiny|small|native override (unset = derived).
   std::optional<wl::SizeClass> size_override;
+  /// --trace=FILE: Chrome trace output path (empty = tracing off).
+  std::string trace_path;
+  /// --metrics[=FILE]: dump the metrics snapshot at exit.
+  bool metrics = false;
+  std::string metrics_path;  ///< empty = stdout
 
   sim::MachineConfig machine() const {
     return native ? sim::MachineConfig::paper() : sim::MachineConfig::scaled();
@@ -110,6 +122,50 @@ inline unsigned parse_unsigned(const std::string& flag,
 /// was consumed, false to fall through to the unknown-flag error.
 using ExtraFlag = std::function<bool(const std::string& arg)>;
 
+namespace detail {
+/// Where the atexit observability flush sends its output. Plain static
+/// storage (not function-locals) so the handler never touches an
+/// object destroyed before it runs; the obs singletons themselves are
+/// leaked for the same reason.
+inline std::string& metrics_sink() {
+  static std::string* s = new std::string;
+  return *s;
+}
+inline bool& metrics_wanted() {
+  static bool w = false;
+  return w;
+}
+
+inline void obs_flush_at_exit() {
+  obs::Trace& tr = obs::Trace::instance();
+  if (tr.enabled()) {
+    const std::string path = tr.stop();  // writes the trace file
+    std::cerr << "trace written to " << path << " (" << tr.event_count()
+              << " events; open in Perfetto or chrome://tracing)\n";
+  }
+  if (metrics_wanted()) {
+    const std::string& path = metrics_sink();
+    if (path.empty()) {
+      std::cout << obs::Registry::instance().snapshot_json() << "\n";
+    } else {
+      std::ofstream out{path};
+      obs::Registry::instance().snapshot_json(out);
+      out << "\n";
+      std::cerr << "metrics snapshot written to " << path << "\n";
+    }
+  }
+}
+
+/// Registers the flush once, on the first --trace/--metrics flag.
+inline void arm_obs_flush() {
+  static const bool armed = [] {
+    std::atexit(obs_flush_at_exit);
+    return true;
+  }();
+  (void)armed;
+}
+}  // namespace detail
+
 /// `subset_supported`: benches that cannot restrict their workload list
 /// must leave this false so --subset is rejected instead of silently
 /// ignored. `extra` consumes bench-specific flags (documented via
@@ -149,9 +205,23 @@ inline BenchArgs parse_args(int argc, char** argv,
       }
     } else if (arg.rfind("--size=", 0) == 0) {
       a.size_override = parse_size(arg.substr(7));
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      a.trace_path = arg.substr(8);
+      if (a.trace_path.empty()) {
+        std::cerr << "--trace= needs an output file path\n";
+        std::exit(2);
+      }
+      detail::arm_obs_flush();
+      obs::Trace::instance().start(a.trace_path);
+    } else if (arg == "--metrics" || arg.rfind("--metrics=", 0) == 0) {
+      a.metrics = true;
+      if (arg.size() > 9) a.metrics_path = arg.substr(10);
+      detail::metrics_wanted() = true;
+      detail::metrics_sink() = a.metrics_path;
+      detail::arm_obs_flush();
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "flags: --quick --native --csv --json --reps=N --threads=N"
-                   " --size=tiny|small|native"
+                   " --size=tiny|small|native --trace=FILE --metrics[=FILE]"
                 << (subset_supported ? " --subset=A,B,..." : "")
                 << (extra_help.empty() ? "" : " " + extra_help) << "\n";
       std::exit(0);
@@ -181,20 +251,35 @@ inline void print_config(const BenchArgs& a, const std::string& what) {
   std::cout << "\n\n";
 }
 
-/// Progress reporter for plan execution. On a terminal the line
-/// updates in place; piped (CI logs) it prints every ~10th milestone.
+/// Progress reporter for plan execution: trials done/total plus an ETA
+/// extrapolated from the mean trial rate so far. On a terminal the
+/// line updates in place; piped (CI logs) it prints every ~10th
+/// milestone.
 inline harness::ExperimentPlan::Progress plan_progress() {
   const bool tty = ::isatty(2) != 0;
-  return [tty](std::size_t done, std::size_t total, const harness::Trial&) {
+  const auto start = std::chrono::steady_clock::now();
+  return [tty, start](std::size_t done, std::size_t total,
+                      const harness::Trial&) {
     if (total < 8) return;
+    const auto eta = [&]() -> std::string {
+      if (done == 0 || done == total) return {};
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      const double left =
+          elapsed / static_cast<double>(done) *
+          static_cast<double>(total - done);
+      return " (eta " + std::to_string(static_cast<long>(left + 0.5)) + "s)";
+    };
     if (tty) {
-      std::cerr << "\r  trial " << done << "/" << total
-                << (done == total ? "\n" : "") << std::flush;
+      std::cerr << "\r  trial " << done << "/" << total << eta()
+                << (done == total ? "\n" : "    ") << std::flush;
       return;
     }
     const std::size_t step = total < 10 ? 1 : total / 10;
     if (done % step == 0 || done == total)
-      std::cerr << "  trial " << done << "/" << total << "\n";
+      std::cerr << "  trial " << done << "/" << total << eta() << "\n";
   };
 }
 

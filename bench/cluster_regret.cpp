@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "cluster/cluster.hpp"
@@ -35,6 +36,7 @@
 #include "harness/runcache.hpp"
 #include "predict/eval.hpp"
 #include "predict/predicted_matrix.hpp"
+#include "snapshot.hpp"
 
 int main(int argc, char** argv) try {
   using namespace coperf;
@@ -71,8 +73,6 @@ int main(int argc, char** argv) try {
               "swaptions", "IRSmk", "blackscholes"};
 
   const unsigned reps = args.effective_reps();
-  harness::RunCache& cache = harness::RunCache::instance();
-  cache.reset_stats();
 
   // Ground truth: measured resident groups. Members share the machine
   // evenly, so the largest measured group fills its cores.
@@ -100,11 +100,15 @@ int main(int argc, char** argv) try {
                  "are lower bounds, not measurements (raise cycle_limit or "
                  "shrink --size)\n";
 
-  const auto cstats = cache.stats();
-  std::cout << "run cache: " << cstats.misses << " simulated, "
-            << cstats.hits << " memory hits, " << cstats.disk_hits
+  // RunCache behaviour comes off the uniform metrics surface (the
+  // counters the cache maintains in the obs registry), not bespoke
+  // Stats plumbing -- the same numbers --metrics exposes.
+  obs::Registry& reg = Session::metrics();
+  std::cout << "run cache: " << reg.counter("runcache.misses").value()
+            << " simulated, " << reg.counter("runcache.hits").value()
+            << " memory hits, " << reg.counter("runcache.disk_hits").value()
             << " disk hits";
-  if (cache.disk_dir().empty())
+  if (harness::RunCache::instance().disk_dir().empty())
     std::cout << " (set COPERF_RUN_CACHE_DIR to reuse across invocations)";
   std::cout << "\n\n";
 
@@ -121,25 +125,27 @@ int main(int argc, char** argv) try {
 
   // The additive-vs-measured gap over every measured 3+-resident group:
   // what the pre-grouptruth pipeline billed with vs what actually runs.
+  predict::GroupEval gap{};
   {
     std::vector<harness::GroupObservation> big;
     for (auto& o : truth.observations())
       if (o.others.size() >= 2) big.push_back(std::move(o));
     if (!big.empty()) {
-      const auto ge = predict::evaluate_groups(big, sigs, pairwise, analytic);
+      gap = predict::evaluate_groups(big, sigs, pairwise, analytic);
       std::cout << "additive composition vs measured >=3-resident truth ("
-                << ge.observations << " member observations):\n"
+                << gap.observations << " member observations):\n"
                 << "  composed-pairwise MAE "
-                << harness::Table::fmt(ge.additive_mae, 4) << " (max gap "
-                << harness::Table::fmt(ge.max_additive_gap, 4)
+                << harness::Table::fmt(gap.additive_mae, 4) << " (max gap "
+                << harness::Table::fmt(gap.max_additive_gap, 4)
                 << "), analytic predict_group MAE "
-                << harness::Table::fmt(ge.model_mae, 4) << "\n\n";
+                << harness::Table::fmt(gap.model_mae, 4) << "\n\n";
     }
   }
 
   cluster::ClusterConfig cfg;
   cfg.machines = machines;
   cfg.slots = slots;
+  cfg.type_names = subset;  // label the trace timeline with real names
   cluster::TraceOptions topt;
   topt.jobs = 1000;
   topt.mean_work = 8.0;
@@ -235,6 +241,33 @@ int main(int argc, char** argv) try {
             << (oracle_regret <= 1e-9 ? " (zero by construction)" : "")
             << "\n";
   if (args.csv) std::cout << "\n" << csv;
+  if (args.json) {
+    std::ostringstream js;
+    js << "{\n"
+       << "  \"config\": {\"size\": \"" << bench::size_name(args.size())
+       << "\", \"reps\": " << reps << ", \"workloads\": " << subset.size()
+       << ", \"machines\": " << machines << ", \"slots\": " << slots
+       << ", \"max_truth_arity\": " << gcfg.max_arity
+       << ", \"seeds\": " << seeds << "},\n"
+       << "  \"truth\": {\"trials\": " << pstats.trials
+       << ", \"residue\": " << pstats.residue
+       << ", \"truncated\": " << truth.truncated_trials() << "},\n"
+       << "  \"additive_gap\": {\"observations\": " << gap.observations
+       << ", \"additive_mae\": " << gap.additive_mae
+       << ", \"max_additive_gap\": " << gap.max_additive_gap
+       << ", \"model_mae\": " << gap.model_mae << "},\n"
+       << "  \"policies\": [\n";
+    for (std::size_t p = 0; p < rows.size(); ++p)
+      js << "    {\"name\": \"" << rows[p].name
+         << "\", \"mean_stretch\": " << rows[p].stretch
+         << ", \"corun_slowdown\": " << rows[p].slowdown
+         << ", \"decision_regret\": " << rows[p].regret
+         << ", \"pairwise_fallbacks\": " << rows[p].fallbacks << "}"
+         << (p + 1 < rows.size() ? "," : "") << "\n";
+    js << "  ]\n}\n";
+    std::cout << "\n" << js.str();
+    bench::write_snapshot("cluster_regret", js.str());
+  }
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

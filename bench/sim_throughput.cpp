@@ -24,6 +24,7 @@
 #include "harness/matrix.hpp"
 #include "harness/report.hpp"
 #include "harness/runcache.hpp"
+#include "snapshot.hpp"
 
 namespace {
 
@@ -106,6 +107,10 @@ int main(int argc, char** argv) try {
 
   // ---- phase 3: warm matrix build ------------------------------------
   cache.reset_stats();
+  // The registry's runcache.* counters are process-wide (reset_stats
+  // never touches them): take a delta across the warm phase instead.
+  const std::uint64_t misses_before_warm =
+      Session::metrics().counter("runcache.misses").value();
   const double t2 = now_seconds();
   const harness::CorunMatrix warm = harness::corun_matrix(mo);
   const double warm_wall = now_seconds() - t2;
@@ -121,6 +126,14 @@ int main(int argc, char** argv) try {
   std::cout << "warm matrix " << (identical ? "identical" : "DIVERGED")
             << "; speedup cold/warm = "
             << harness::Table::fmt(cold_wall / warm_wall, 1) << "x\n";
+
+  // Publish the pass/fail facts on the metrics surface, where CI
+  // asserts them (--metrics=FILE) instead of grepping bench prose.
+  obs::Registry& reg = Session::metrics();
+  reg.gauge("sim_throughput.warm_misses")
+      .set(static_cast<double>(reg.counter("runcache.misses").value() -
+                               misses_before_warm));
+  reg.gauge("sim_throughput.warm_identical").set(identical ? 1.0 : 0.0);
 
   cache.set_disk_dir(saved_disk);
   cache.set_enabled(saved_enabled);
@@ -147,6 +160,7 @@ int main(int argc, char** argv) try {
        << ", \"identical\": " << (identical ? "true" : "false") << "}\n"
        << "}\n";
     std::cout << "\n" << js.str();
+    bench::write_snapshot("sim_throughput", js.str());
   }
   // The warm build regressing to real simulations is a correctness
   // failure of the run cache, not a perf blip: fail loudly.

@@ -1,0 +1,62 @@
+// In-repo bench snapshots.
+//
+// The perf-tracked benches (--json mode) persist their machine-readable
+// output as BENCH_<name>.json at the repository root, so the numbers a
+// change ships with live next to the code that produced them and a
+// reviewer can diff them like any other file. The repo root is found by
+// walking up from the current directory to the first ancestor holding
+// ROADMAP.md + CMakeLists.txt; COPERF_BENCH_SNAPSHOT_DIR overrides the
+// destination (CI uses it to keep workspace runs from dirtying the
+// checkout). When neither resolves, the snapshot is skipped with a
+// note -- a bench run outside the repo must not fail over bookkeeping.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+namespace coperf::bench {
+
+/// Directory snapshots are written to, or nullopt when unresolvable.
+inline std::optional<std::filesystem::path> snapshot_dir() {
+  namespace fs = std::filesystem;
+  if (const char* env = std::getenv("COPERF_BENCH_SNAPSHOT_DIR"))
+    if (*env != '\0') return fs::path{env};
+  std::error_code ec;
+  fs::path dir = fs::current_path(ec);
+  if (ec) return std::nullopt;
+  for (; !dir.empty(); dir = dir.parent_path()) {
+    if (fs::exists(dir / "ROADMAP.md", ec) &&
+        fs::exists(dir / "CMakeLists.txt", ec))
+      return dir;
+    if (dir == dir.root_path()) break;
+  }
+  return std::nullopt;
+}
+
+/// Writes BENCH_<name>.json holding `json` (a complete document) into
+/// snapshot_dir(), reporting the path -- or why it was skipped -- on
+/// stderr.
+inline void write_snapshot(const std::string& name, const std::string& json) {
+  const auto dir = snapshot_dir();
+  if (!dir) {
+    std::cerr << "bench snapshot skipped: no repo root found and "
+                 "COPERF_BENCH_SNAPSHOT_DIR is unset\n";
+    return;
+  }
+  const std::filesystem::path path = *dir / ("BENCH_" + name + ".json");
+  std::ofstream out{path};
+  if (!out) {
+    std::cerr << "bench snapshot skipped: cannot write " << path.string()
+              << "\n";
+    return;
+  }
+  out << json;
+  if (!json.empty() && json.back() != '\n') out << "\n";
+  std::cerr << "bench snapshot written to " << path.string() << "\n";
+}
+
+}  // namespace coperf::bench

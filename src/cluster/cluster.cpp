@@ -5,11 +5,17 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace coperf::cluster {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Simulated-time scale on the trace: 1 unit of work = 1 ms displayed.
+constexpr double kTraceUsPerUnit = 1000.0;
 
 struct Running {
   std::size_t job = 0;
@@ -53,6 +59,56 @@ ClusterResult simulate(const ClusterConfig& cfg,
   std::size_t next_arrival = 0;
   std::size_t running_count = 0;
 
+  // Observability: a simulated-time timeline (own trace process per
+  // run, so back-to-back policy sweeps do not overwrite each other's
+  // lanes) plus registry counters. Everything is read-only over the
+  // loop's state and branch-free when disabled.
+  obs::Trace& tr = obs::Trace::instance();
+  const bool traced = tr.enabled();
+  const int trace_pid = traced ? tr.next_pid() : 0;
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Counter& placements_ctr = reg.counter("cluster.placements");
+  obs::Counter& completions_ctr = reg.counter("cluster.completions");
+  if (traced) {
+    tr.name_process(trace_pid, "cluster " + policy.name() + " (" +
+                                   std::to_string(cfg.machines) + "x" +
+                                   std::to_string(cfg.slots) +
+                                   ", simulated time)");
+    for (std::size_t m = 0; m < cfg.machines; ++m)
+      tr.name_thread(trace_pid, static_cast<int>(m),
+                     "machine " + std::to_string(m));
+  }
+  const auto type_label = [&](std::size_t type) -> std::string {
+    if (type < cfg.type_names.size()) return cfg.type_names[type];
+    std::string label{"t"};
+    label += std::to_string(type);
+    return label;
+  };
+  // Start of the current constant-resident-set interval, per machine.
+  std::vector<double> lane_since(cfg.machines, 0.0);
+  // Closes machine m's resident-set span at the current time `t`; call
+  // BEFORE mutating machines[m].
+  const auto close_lane = [&](std::size_t m) {
+    if (!traced) return;
+    if (!machines[m].empty() && t > lane_since[m]) {
+      std::string label;
+      for (const Running& r : machines[m]) {
+        if (!label.empty()) label += '+';
+        label += type_label(trace[r.job].type);
+      }
+      tr.complete(trace_pid, static_cast<int>(m), std::move(label),
+                  lane_since[m] * kTraceUsPerUnit,
+                  (t - lane_since[m]) * kTraceUsPerUnit,
+                  obs::Args{}.set("residents", machines[m].size()).str());
+    }
+    lane_since[m] = t;
+  };
+  const auto emit_queue_depth = [&] {
+    if (traced)
+      tr.counter_at(trace_pid, "queue_depth", t * kTraceUsPerUnit,
+                    static_cast<double>(waiting.size()));
+  };
+
   // Current slowdown of one resident: the truth oracle's answer for
   // its co-resident group (measured when the truth holds the group,
   // additive pairwise composition otherwise).
@@ -92,6 +148,18 @@ ClusterResult simulate(const ClusterConfig& cfg,
         best = std::min(best, d);
       }
       res.mean_decision_regret += chosen - best;
+      placements_ctr.add();
+      if (traced)
+        tr.instant_at(trace_pid, static_cast<int>(m),
+                      "place " + type_label(job.type), t * kTraceUsPerUnit,
+                      obs::Args{}
+                          .set("job", jid)
+                          .set("policy", policy.name())
+                          .set("predicted_cost", policy.last_cost_delta())
+                          .set("true_cost", chosen)
+                          .set("regret", chosen - best)
+                          .set("queued_for", t - job.arrival)
+                          .str());
       // Report the full group outcome -- every member's true slowdown
       // in the machine's new resident group. The new job leads, so a
       // 2-resident group decomposes into the historical observe_pair
@@ -116,6 +184,7 @@ ClusterResult simulate(const ClusterConfig& cfg,
         }
         policy.observe_group(group, slowdowns);
       }
+      close_lane(m);  // the resident set is about to change
       machines[m].push_back({jid, job.work});
       ++running_count;
       JobOutcome& out = res.outcomes[jid];
@@ -127,6 +196,7 @@ ClusterResult simulate(const ClusterConfig& cfg,
       out.work = job.work;
       res.log.events.push_back({TraceEvent::Kind::Place, t, jid, job.type, m,
                                 policy.last_cost_delta()});
+      emit_queue_depth();
     }
   };
 
@@ -161,6 +231,8 @@ ClusterResult simulate(const ClusterConfig& cfg,
 
     if (t_done <= t_arr) {
       const std::size_t jid = machines[done_m][done_s].job;
+      close_lane(done_m);  // the resident set is about to change
+      completions_ctr.add();
       machines[done_m].erase(machines[done_m].begin() +
                              static_cast<std::ptrdiff_t>(done_s));
       --running_count;
@@ -174,6 +246,7 @@ ClusterResult simulate(const ClusterConfig& cfg,
           {TraceEvent::Kind::Arrive, t, job.id, job.type, 0, 0.0});
       waiting.push_back(next_arrival);
       ++next_arrival;
+      emit_queue_depth();
     }
     drain_waiting();
   }

@@ -33,6 +33,10 @@ namespace coperf::cluster {
 struct ClusterConfig {
   std::size_t machines = 4;
   std::size_t slots = 2;  ///< co-run slots per machine, >= 2
+  /// Optional workload names indexed by job type, used only to label
+  /// the observability timeline (obs::Trace); empty = "t<type>". Has
+  /// no effect on simulation results.
+  std::vector<std::string> type_names;
 };
 
 /// What happened to one job.
@@ -78,6 +82,15 @@ struct ClusterResult {
 /// the full new group outcome (per-member true slowdowns) to the
 /// policy via observe_group(); for 2-resident groups that decomposes
 /// into the legacy observe_pair() feedback.
+///
+/// When obs::Trace is recording, the run additionally emits a
+/// simulated-time timeline in its own trace process (1 work unit
+/// renders as 1 ms): one lane per machine holding resident-set spans
+/// (a span per interval of constant resident multiset, labeled with
+/// the member names), a per-decision instant event on the chosen
+/// machine's lane carrying the policy name, its predicted cost, the
+/// true cost, and the billed regret, plus a queue-depth counter track.
+/// Tracing never changes results -- it only reads simulator state.
 ClusterResult simulate(const ClusterConfig& cfg,
                        harness::InterferenceTruth& truth,
                        const std::vector<JobSpec>& trace,

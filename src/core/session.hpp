@@ -40,6 +40,8 @@
 #include "harness/prefetch_study.hpp"
 #include "harness/runner.hpp"
 #include "harness/scalability.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/config.hpp"
 #include "wl/registry.hpp"
 #include "wl/workload.hpp"
@@ -86,6 +88,15 @@ class Session {
 
   const sim::MachineConfig& machine() const { return base_.machine; }
   wl::SizeClass size_class() const { return base_.size; }
+
+  /// Process-wide metrics registry (counters/gauges/histograms kept by
+  /// the harness, truth oracles, and cluster simulator). Enabled by
+  /// default; snapshot with metrics().snapshot_json().
+  static obs::Registry& metrics() { return obs::Registry::instance(); }
+  /// Process-wide Chrome-trace recorder. Off by default; trace().start
+  /// (path) records spans until trace().stop() writes the file -- load
+  /// it in Perfetto or chrome://tracing.
+  static obs::Trace& trace() { return obs::Trace::instance(); }
 
  private:
   harness::RunOptions base_;

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "harness/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "wl/registry.hpp"
 
 namespace coperf::harness {
@@ -21,6 +23,13 @@ std::vector<std::size_t> others_excluding(const std::vector<std::size_t>& group,
 }
 
 // --- InterferenceTruth ----------------------------------------------
+
+void InterferenceTruth::count_fallbacks(std::uint64_t n) {
+  fallbacks_ += n;
+  static obs::Counter& ctr =
+      obs::Registry::instance().counter("truth.pairwise_fallbacks");
+  ctr.add(n);
+}
 
 double InterferenceTruth::admission_delta(
     std::size_t job_type, double job_work,
@@ -49,7 +58,7 @@ MatrixTruth::MatrixTruth(CorunMatrix m) : matrix_(std::move(m)) {
 
 double MatrixTruth::slowdown(std::size_t type,
                              const std::vector<std::size_t>& others) {
-  if (others.size() >= 2) ++fallbacks_;  // composed, not measured
+  if (others.size() >= 2) count_fallbacks();  // composed, not measured
   // corun_slowdown exactly, clamp included, so event-loop progress is
   // bit-identical to the legacy simulator even for sub-1.0 entries.
   // Raw pair entries are served by pairwise() -- the feedback path the
@@ -68,8 +77,8 @@ double MatrixTruth::admission_delta(std::size_t job_type, double job_work,
   // with-job and without-job groups), so pairwise_fallbacks means
   // the same thing whichever truth backend billed the run.
   const std::size_t r = residents.size();
-  fallbacks_ += (r >= 2 ? 1 : 0) +
-                r * ((r >= 2 ? 1 : 0) + (r >= 3 ? 1 : 0));
+  count_fallbacks((r >= 2 ? 1 : 0) +
+                  r * ((r >= 2 ? 1 : 0) + (r >= 3 ? 1 : 0)));
   // The pre-grouptruth billing, verbatim: the job's composed slowdown
   // for its own work, plus the raw pair excess it inflicts on each
   // resident. (The default group formula reduces to this when the
@@ -147,6 +156,14 @@ GroupTruth::PlanStats GroupTruth::measure(const std::vector<Key>& keys,
     }
   PlanStats stats{plan.trial_count(), plan.residue_count()};
   if (plan.trial_count() == 0) return stats;
+  const obs::Trace::Span span{"grouptruth.measure",
+                              obs::Args{}
+                                  .set("groups", pending.size())
+                                  .set("trials", stats.trials)
+                                  .set("residue", stats.residue)
+                                  .str()};
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter("grouptruth.measured_groups").add(pending.size());
   const ResultSet rs = plan.execute(0, std::move(progress));
   for (const std::size_t t : solo_pending)
     solos_.emplace(
@@ -157,7 +174,10 @@ GroupTruth::PlanStats GroupTruth::measure(const std::vector<Key>& keys,
     // a lower bound on the true slowdown, not a measurement. Keep it
     // (the best information available) but count it so consumers can
     // warn -- see truncated_trials().
-    if (g.members[0].hit_cycle_limit) ++truncated_;
+    if (g.members[0].hit_cycle_limit) {
+      ++truncated_;
+      reg.counter("grouptruth.truncated").add();
+    }
     const double solo_cycles =
         static_cast<double>(solos_.at(key[0]).cycles);
     measured_[key] = solo_cycles > 0.0
@@ -173,7 +193,7 @@ double GroupTruth::slowdown(std::size_t type,
     throw std::out_of_range{"GroupTruth::slowdown: type outside the axis"};
   if (others.empty()) return 1.0;
   if (others.size() + 1 > cfg_.max_arity) {
-    ++fallbacks_;
+    count_fallbacks();
     return corun_slowdown(pairwise(), type, others);
   }
   const Key key = make_key(type, others);
@@ -257,6 +277,12 @@ GroupTruth::PlanStats GroupTruth::prefetch_all(
   };
   for (unsigned size = 2; size <= max_group; ++size)
     enumerate(enumerate, 0, size);
+  const obs::Trace::Span span{"grouptruth.prefetch_all",
+                              obs::Args{}
+                                  .set("axis", n)
+                                  .set("max_group", max_group)
+                                  .set("multisets", groups.size())
+                                  .str()};
   const PlanStats stats = expand_and_measure(groups, std::move(progress));
   (void)pairwise();  // size-2 multisets are already measured: zero new trials
   return stats;

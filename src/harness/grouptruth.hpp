@@ -99,6 +99,11 @@ class InterferenceTruth {
   std::uint64_t fallbacks() const { return fallbacks_; }
 
  protected:
+  /// Adds to fallbacks() and to the process-wide metrics counter
+  /// "truth.pairwise_fallbacks" (obs registry), so every truth
+  /// implementation is counted on the same observable surface.
+  void count_fallbacks(std::uint64_t n = 1);
+
   std::uint64_t fallbacks_ = 0;
 };
 

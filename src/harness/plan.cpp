@@ -1,15 +1,30 @@
 #include "harness/plan.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <stdexcept>
 
 #include "harness/runcache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "wl/registry.hpp"
 
 namespace coperf::harness {
 
 namespace {
+
+/// Trace-span label of one trial: members joined with '+', background
+/// (restart-until-done) members marked with '*'.
+std::string trial_label(const GroupSpec& spec) {
+  std::string label;
+  for (const MemberSpec& m : spec.members) {
+    if (!label.empty()) label += '+';
+    label += m.workload;
+    if (m.restart_until_done) label += '*';
+  }
+  return label;
+}
 
 RunOptions with_seed(RunOptions o, std::uint64_t seed) {
   o.seed = seed;
@@ -115,16 +130,58 @@ ResultSet ExperimentPlan::execute(unsigned host_threads, Progress progress,
   std::vector<GroupResult> results(trials_.size());
   std::mutex progress_mu;
   std::size_t done = 0;
-  parallel_for(
-      trials_.size(), host_threads,
-      [&](std::size_t i) {
-        results[i] = run_group(trials_[i].group, trials_[i].opt);
-        if (progress) {
-          std::lock_guard lock{progress_mu};
-          progress(++done, trials_.size(), trials_[i]);
-        }
-      },
-      schedule);
+  // Observability: a trial span per pool-worker lane, an in-flight
+  // counter track, and registry counters/histograms. All of it is
+  // behind branch-only enabled checks; nothing here touches simulation
+  // state (the RunCache hit/miss split is counted inside run_group's
+  // cache probe).
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Counter& trials_done = reg.counter("plan.trials_done");
+  obs::Histogram& trial_us = reg.histogram("plan.trial_us");
+  obs::Gauge& inflight_gauge = reg.gauge("plan.inflight");
+  obs::Trace& tr = obs::Trace::instance();
+  std::atomic<int> inflight{0};
+  {
+    obs::Trace::Span plan_span{
+        "plan.execute",
+        obs::Args{}
+            .set("trials", trials_.size())
+            .set("residue", tr.enabled() ? residue_count() : std::size_t{0})
+            .str()};
+    parallel_for(
+        trials_.size(), host_threads,
+        [&](std::size_t i) {
+          const bool traced = tr.enabled();
+          const bool timed = traced || obs::metrics_enabled();
+          if (timed) {
+            const int now_in = inflight.fetch_add(1) + 1;
+            inflight_gauge.set(now_in);
+            if (traced) tr.counter("plan.inflight", now_in);
+          }
+          const double t0 = timed ? obs::wall_us() : 0.0;
+          results[i] = run_group(trials_[i].group, trials_[i].opt);
+          if (timed) {
+            const double dur = obs::wall_us() - t0;
+            trial_us.record(static_cast<std::uint64_t>(dur));
+            trials_done.add();
+            if (traced) {
+              tr.complete_host(
+                  trial_label(trials_[i].group), t0, dur,
+                  obs::Args{}.set("seed", trials_[i].opt.seed).str());
+              tr.counter("plan.inflight", inflight.load() - 1);
+            }
+            inflight.fetch_sub(1);
+            inflight_gauge.set(inflight.load());
+          }
+          if (progress) {
+            std::lock_guard lock{progress_mu};
+            progress(++done, trials_.size(), trials_[i]);
+          }
+        },
+        schedule);
+  }
+  // The pool spawns lazily inside parallel_for: sample it afterwards.
+  reg.gauge("pool.workers").set(pool_size());
   ResultSet rs;
   rs.base_ = base_;
   rs.results_.reserve(trials_.size());

@@ -11,6 +11,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "perf/metrics.hpp"
 
 namespace coperf::harness {
@@ -138,6 +139,17 @@ struct RunCache::Impl {
   mutable std::mutex mu;
   std::unordered_map<std::string, GroupResult> groups;
   Stats stats;
+  // Process-wide mirrors of `stats` in the observability registry --
+  // the uniform surface --metrics and the CI warm-path assertion read.
+  // Unlike stats they are never reset by reset_stats(): they count the
+  // whole process, like every other registry metric.
+  obs::Counter& hits_ctr = obs::Registry::instance().counter("runcache.hits");
+  obs::Counter& disk_hits_ctr =
+      obs::Registry::instance().counter("runcache.disk_hits");
+  obs::Counter& misses_ctr =
+      obs::Registry::instance().counter("runcache.misses");
+  obs::Counter& stores_ctr =
+      obs::Registry::instance().counter("runcache.stores");
 
   std::filesystem::path entry_path(const std::string& dir,
                                    const std::string& key) const {
@@ -236,21 +248,25 @@ bool RunCache::lookup(const std::string& key, GroupResult* out) {
   std::lock_guard lock{impl_->mu};
   if (auto it = impl_->groups.find(key); it != impl_->groups.end()) {
     ++impl_->stats.hits;
+    impl_->hits_ctr.add();
     *out = it->second;
     return true;
   }
   if (impl_->disk_load(disk_dir_, key, out)) {
     ++impl_->stats.disk_hits;
+    impl_->disk_hits_ctr.add();
     impl_->groups.emplace(key, *out);
     return true;
   }
   ++impl_->stats.misses;
+  impl_->misses_ctr.add();
   return false;
 }
 
 void RunCache::store(const std::string& key, const GroupResult& r) {
   std::lock_guard lock{impl_->mu};
   impl_->groups.emplace(key, r);
+  impl_->stores_ctr.add();
   impl_->disk_store(disk_dir_, key, r);
 }
 

@@ -1,0 +1,206 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace coperf::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+void put_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void put_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << 0;  // keep the snapshot valid JSON whatever happens upstream
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) noexcept {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+double wall_us() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double, std::micro>(clock::now() - epoch)
+      .count();
+}
+
+// --- Histogram -------------------------------------------------------
+
+void Histogram::record(std::uint64_t v) noexcept {
+  if (!metrics_enabled()) return;
+  const unsigned b = v == 0 ? 0 : static_cast<unsigned>(std::bit_width(v));
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::bucket(unsigned b) const noexcept {
+  return b < kBuckets ? buckets_[b].load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t Histogram::quantile_upper(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (unsigned b = 0; b < kBuckets; ++b) {
+    cum += bucket(b);
+    if (static_cast<double>(cum) >= target && cum > 0) {
+      if (b == 0) return 0;
+      if (b >= 64) return UINT64_MAX;
+      return (std::uint64_t{1} << b) - 1;
+    }
+  }
+  return UINT64_MAX;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// --- Registry --------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // Stable addresses: metric objects are heap-held and never erased.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry& Registry::instance() {
+  // Leaked: the snapshot may be taken from an atexit handler, after
+  // function-local statics would have been destroyed.
+  static Registry* reg = new Registry;
+  return *reg;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock{impl_->mu};
+  auto& slot = impl_->counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock{impl_->mu};
+  auto& slot = impl_->gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard lock{impl_->mu};
+  auto& slot = impl_->histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::snapshot_json(std::ostream& os) const {
+  std::lock_guard lock{impl_->mu};
+  os << "{\n  \"counters\": {";
+  const char* sep = "";
+  for (const auto& [name, c] : impl_->counters) {
+    os << sep << "\n    ";
+    put_escaped(os, name);
+    os << ": " << c->value();
+    sep = ",";
+  }
+  os << (impl_->counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  sep = "";
+  for (const auto& [name, g] : impl_->gauges) {
+    os << sep << "\n    ";
+    put_escaped(os, name);
+    os << ": ";
+    put_double(os, g->value());
+    sep = ",";
+  }
+  os << (impl_->gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  sep = "";
+  for (const auto& [name, h] : impl_->histograms) {
+    os << sep << "\n    ";
+    put_escaped(os, name);
+    os << ": {\"count\": " << h->count() << ", \"sum\": " << h->sum()
+       << ", \"mean\": ";
+    put_double(os, h->mean());
+    os << ", \"p50\": " << h->quantile_upper(0.50)
+       << ", \"p90\": " << h->quantile_upper(0.90)
+       << ", \"p99\": " << h->quantile_upper(0.99) << ", \"buckets\": {";
+    const char* bsep = "";
+    for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+      if (h->bucket(b) == 0) continue;
+      os << bsep << "\"" << b << "\": " << h->bucket(b);
+      bsep = ", ";
+    }
+    os << "}}";
+    sep = ",";
+  }
+  os << (impl_->histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string Registry::snapshot_json() const {
+  std::ostringstream os;
+  snapshot_json(os);
+  return os.str();
+}
+
+void Registry::reset() {
+  std::lock_guard lock{impl_->mu};
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, g] : impl_->gauges) g->reset();
+  for (auto& [name, h] : impl_->histograms) h->reset();
+}
+
+}  // namespace coperf::obs

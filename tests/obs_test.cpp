@@ -1,0 +1,517 @@
+// Observability tests: the metrics registry stays exact under
+// concurrent pool updates, disabled mode records nothing, snapshots
+// and trace documents are valid JSON, and the cluster simulator's
+// simulated-time timeline is structurally well formed (disjoint
+// resident-set spans per machine lane, monotonic counter tracks) while
+// never changing simulation results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "harness/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace coperf::obs {
+namespace {
+
+// --- minimal JSON parser (validation only) ---------------------------
+
+struct Json {
+  enum class Kind { Object, Array, String, Number, Bool, Null };
+  Kind kind = Kind::Null;
+  std::map<std::string, Json> obj;
+  std::vector<Json> arr;
+  std::string str;
+  double num = 0.0;
+  bool boolean = false;
+
+  const Json& at(const std::string& key) const {
+    const auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error{"missing key " + key};
+    return it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) != 0; }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error{"trailing bytes"};
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) throw std::runtime_error{"unexpected end"};
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c)
+      throw std::runtime_error{std::string{"expected "} + c + " got " +
+                               s_[pos_]};
+    ++pos_;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) throw std::runtime_error{"unterminated string"};
+      const char c = s_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) throw std::runtime_error{"bad escape"};
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) throw std::runtime_error{"bad \\u"};
+            for (int i = 0; i < 4; ++i)
+              if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])))
+                throw std::runtime_error{"bad \\u digit"};
+            out += '?';  // value irrelevant for validation
+            pos_ += 4;
+            break;
+          default: throw std::runtime_error{"unknown escape"};
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        throw std::runtime_error{"raw control char in string"};
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Json value() {
+    skip_ws();
+    Json v;
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      v.kind = Json::Kind::Object;
+      if (!consume('}')) {
+        do {
+          skip_ws();
+          std::string key = string();
+          skip_ws();
+          expect(':');
+          v.obj.emplace(std::move(key), value());
+        } while (consume(','));
+        skip_ws();
+        expect('}');
+      }
+    } else if (c == '[') {
+      ++pos_;
+      v.kind = Json::Kind::Array;
+      if (!consume(']')) {
+        do {
+          v.arr.push_back(value());
+        } while (consume(','));
+        skip_ws();
+        expect(']');
+      }
+    } else if (c == '"') {
+      v.kind = Json::Kind::String;
+      v.str = string();
+    } else if (c == 't' || c == 'f') {
+      v.kind = Json::Kind::Bool;
+      const std::string word = c == 't' ? "true" : "false";
+      if (s_.compare(pos_, word.size(), word) != 0)
+        throw std::runtime_error{"bad literal"};
+      pos_ += word.size();
+      v.boolean = c == 't';
+    } else if (c == 'n') {
+      if (s_.compare(pos_, 4, "null") != 0)
+        throw std::runtime_error{"bad literal"};
+      pos_ += 4;
+    } else {
+      v.kind = Json::Kind::Number;
+      const std::size_t start = pos_;
+      while (pos_ < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+              s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+              s_[pos_] == 'e' || s_[pos_] == 'E'))
+        ++pos_;
+      if (pos_ == start) throw std::runtime_error{"bad number"};
+      v.num = std::stod(s_.substr(start, pos_ - start));
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Structural validation of a trace document. Checks every event is
+/// well formed, 'X' spans on one (pid, tid) lane are disjoint or
+/// properly nested, and counter tracks on simulated timelines (pid !=
+/// kHostPid, where timestamps are event-loop time) are nondecreasing
+/// in file order. Host counter tracks are exempt: their timestamps are
+/// read before the buffer lock, so concurrent emitters may interleave.
+void validate_trace_doc(const Json& doc) {
+  ASSERT_EQ(doc.kind, Json::Kind::Object);
+  ASSERT_TRUE(doc.has("traceEvents"));
+  const Json& events = doc.at("traceEvents");
+  ASSERT_EQ(events.kind, Json::Kind::Array);
+
+  struct SpanRec {
+    double ts, dur;
+  };
+  std::map<std::pair<int, int>, std::vector<SpanRec>> spans;
+  std::map<std::pair<int, std::string>, double> counter_last;
+
+  for (const Json& e : events.arr) {
+    ASSERT_EQ(e.kind, Json::Kind::Object);
+    ASSERT_EQ(e.at("name").kind, Json::Kind::String);
+    ASSERT_EQ(e.at("ph").kind, Json::Kind::String);
+    ASSERT_EQ(e.at("ph").str.size(), 1u);
+    const char ph = e.at("ph").str[0];
+    ASSERT_TRUE(ph == 'X' || ph == 'i' || ph == 'C' || ph == 'M')
+        << "unexpected phase " << ph;
+    const int pid = static_cast<int>(e.at("pid").num);
+    const int tid = static_cast<int>(e.at("tid").num);
+    const double ts = e.at("ts").num;
+    ASSERT_GE(ts, 0.0);
+    if (ph == 'X') {
+      ASSERT_GE(e.at("dur").num, 0.0);
+      spans[{pid, tid}].push_back({ts, e.at("dur").num});
+    }
+    if (ph == 'i') ASSERT_EQ(e.at("s").str, "t");
+    if (ph == 'C') {
+      ASSERT_TRUE(e.has("args"));
+      ASSERT_TRUE(e.at("args").has("value"));
+      if (pid != Trace::kHostPid) {
+        const auto key = std::make_pair(pid, e.at("name").str);
+        const auto it = counter_last.find(key);
+        if (it != counter_last.end())
+          ASSERT_GE(ts, it->second) << "counter track went backwards";
+        counter_last[key] = ts;
+      }
+    }
+    if (ph == 'M') ASSERT_TRUE(e.at("args").has("name"));
+  }
+
+  // Same-lane spans: sorted by (start, -dur), each span must either
+  // start after the enclosing one ends or end within it.
+  constexpr double kEps = 1e-3;  // us; float slack on boundaries
+  for (auto& [lane, v] : spans) {
+    std::sort(v.begin(), v.end(), [](const SpanRec& a, const SpanRec& b) {
+      return a.ts != b.ts ? a.ts < b.ts : a.dur > b.dur;
+    });
+    std::vector<double> stack;  // open span end times
+    for (const SpanRec& s : v) {
+      while (!stack.empty() && stack.back() <= s.ts + kEps) stack.pop_back();
+      if (!stack.empty())
+        ASSERT_LE(s.ts + s.dur, stack.back() + kEps)
+            << "overlapping spans on lane (" << lane.first << ","
+            << lane.second << ")";
+      stack.push_back(s.ts + s.dur);
+    }
+  }
+}
+
+Json parse_current_trace() {
+  std::ostringstream os;
+  Trace::instance().write(os);
+  return Parser{os.str()}.parse();
+}
+
+/// RAII guard: every test leaves metrics enabled and the trace stopped
+/// and empty, whatever it toggled.
+struct ObsSandbox {
+  ~ObsSandbox() {
+    set_metrics_enabled(true);
+    Trace::instance().stop();
+    Trace::instance().clear();
+  }
+};
+
+// --- metrics ---------------------------------------------------------
+
+TEST(MetricsTest, CounterExactUnderConcurrentPoolUpdates) {
+  ObsSandbox sandbox;
+  Registry& reg = Registry::instance();
+  Counter& c = reg.counter("obs_test.concurrent_counter");
+  Histogram& h = reg.histogram("obs_test.concurrent_hist");
+  c.reset();
+  h.reset();
+  constexpr std::size_t kIters = 10'000;
+  harness::parallel_for(kIters, 8, [&](std::size_t i) {
+    c.add();
+    h.record(i);
+  });
+  EXPECT_EQ(c.value(), kIters);
+  EXPECT_EQ(h.count(), kIters);
+  EXPECT_EQ(h.sum(), kIters * (kIters - 1) / 2);
+}
+
+TEST(MetricsTest, GaugeSetAndAtomicAdd) {
+  ObsSandbox sandbox;
+  Gauge& g = Registry::instance().gauge("obs_test.gauge");
+  g.reset();
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  harness::parallel_for(1000, 8, [&](std::size_t) { g.add(1.0); });
+  EXPECT_DOUBLE_EQ(g.value(), 1002.5);
+}
+
+TEST(MetricsTest, HistogramLogBuckets) {
+  ObsSandbox sandbox;
+  Histogram h;
+  h.record(0);    // bucket 0
+  h.record(1);    // bit_width 1 -> bucket 1
+  h.record(2);    // bucket 2
+  h.record(3);    // bucket 2
+  h.record(4);    // bucket 3
+  h.record(1024);  // bucket 11
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(11), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 1034u);
+  // p50 of 6 samples lands in bucket 2 -> upper bound 3.
+  EXPECT_EQ(h.quantile_upper(0.5), 3u);
+  EXPECT_EQ(h.quantile_upper(1.0), 2047u);
+}
+
+TEST(MetricsTest, DisabledUpdatesAreDropped) {
+  ObsSandbox sandbox;
+  Registry& reg = Registry::instance();
+  Counter& c = reg.counter("obs_test.disabled_counter");
+  Gauge& g = reg.gauge("obs_test.disabled_gauge");
+  Histogram& h = reg.histogram("obs_test.disabled_hist");
+  c.reset();
+  g.reset();
+  h.reset();
+  set_metrics_enabled(false);
+  c.add(7);
+  g.set(1.0);
+  g.add(1.0);
+  h.record(42);
+  set_metrics_enabled(true);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsTest, SnapshotIsValidJsonAndCarriesValues) {
+  ObsSandbox sandbox;
+  Registry& reg = Registry::instance();
+  reg.counter("obs_test.snap_counter").reset();
+  reg.counter("obs_test.snap_counter").add(3);
+  reg.gauge("obs_test.snap_gauge").set(1.5);
+  reg.histogram("obs_test.snap_hist").record(10);
+  const Json doc = Parser{reg.snapshot_json()}.parse();
+  ASSERT_EQ(doc.kind, Json::Kind::Object);
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("obs_test.snap_counter").num, 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("obs_test.snap_gauge").num, 1.5);
+  const Json& h = doc.at("histograms").at("obs_test.snap_hist");
+  EXPECT_DOUBLE_EQ(h.at("count").num, 1.0);
+  EXPECT_DOUBLE_EQ(h.at("sum").num, 10.0);
+}
+
+TEST(MetricsTest, LabeledSeriesName) {
+  EXPECT_EQ(Registry::labeled("plan.trials", "bench", "fig5"),
+            "plan.trials{bench=fig5}");
+}
+
+// --- trace -----------------------------------------------------------
+
+TEST(TraceTest, DisabledRecordsNothingAndReadsNoClock) {
+  ObsSandbox sandbox;
+  Trace& tr = Trace::instance();
+  tr.stop();
+  tr.clear();
+  ASSERT_FALSE(tr.enabled());
+  {
+    Trace::Span span{"should-not-record"};
+    tr.instant("nope");
+    tr.counter("nope", 1.0);
+    tr.complete(5, 0, "nope", 0.0, 1.0);
+  }
+  EXPECT_EQ(tr.event_count(), 0u);
+}
+
+TEST(TraceTest, HostSpansFormValidDocument) {
+  ObsSandbox sandbox;
+  Trace& tr = Trace::instance();
+  tr.start();
+  {
+    Trace::Span outer{"outer", Args{}.set("k", 1).str()};
+    harness::parallel_for(64, 4, [&](std::size_t i) {
+      const double t0 = tr.now_us();
+      tr.complete_host("work", t0, tr.now_us() - t0,
+                       Args{}.set("i", i).str());
+      if (i % 8 == 0) tr.instant("milestone");
+    });
+    tr.counter("inflight", 0.0);
+  }
+  ASSERT_GT(tr.event_count(), 64u);
+  const Json doc = parse_current_trace();
+  validate_trace_doc(doc);
+  // Every span event landed on the host timeline.
+  for (const Json& e : doc.at("traceEvents").arr)
+    if (e.at("ph").str == "X")
+      EXPECT_EQ(static_cast<int>(e.at("pid").num), Trace::kHostPid);
+  tr.stop();
+  tr.clear();
+}
+
+TEST(TraceTest, ArgsEscapesAndRenders) {
+  const std::string json =
+      Args{}.set("s", "a\"b\\c\nd").set("n", 42).set("d", 1.5).set("b", true)
+          .str();
+  const Json v = Parser{json}.parse();
+  EXPECT_EQ(v.at("s").str, "a\"b\\c\nd");
+  EXPECT_DOUBLE_EQ(v.at("n").num, 42.0);
+  EXPECT_DOUBLE_EQ(v.at("d").num, 1.5);
+  EXPECT_TRUE(v.at("b").boolean);
+}
+
+// --- cluster simulated-time timeline ---------------------------------
+
+harness::CorunMatrix synthetic_matrix() {
+  harness::CorunMatrix m;
+  m.workloads = {"hog", "victim", "neutral"};
+  m.solo_cycles = {1'000'000, 1'000'000, 1'000'000};
+  m.normalized = {
+      {1.60, 1.10, 1.05},
+      {2.20, 1.05, 1.02},
+      {1.05, 1.01, 1.00},
+  };
+  return m;
+}
+
+cluster::ClusterResult run_cluster(std::uint64_t seed) {
+  cluster::ClusterConfig cfg;
+  cfg.machines = 3;
+  cfg.slots = 2;
+  cfg.type_names = {"hog", "victim", "neutral"};
+  cluster::TraceOptions topt;
+  topt.jobs = 60;
+  topt.seed = seed;
+  topt.mean_interarrival = 2.0;
+  const auto trace = cluster::synthetic_trace(3, topt);
+  cluster::RandomPolicy policy{seed};
+  return cluster::simulate(cfg, synthetic_matrix(), trace, policy);
+}
+
+TEST(TraceTest, ClusterTimelineWellFormed) {
+  ObsSandbox sandbox;
+  Trace& tr = Trace::instance();
+  tr.start();
+  const auto res = run_cluster(7);
+  ASSERT_EQ(res.outcomes.size(), 60u);
+  const Json doc = parse_current_trace();
+  tr.stop();
+  tr.clear();
+  validate_trace_doc(doc);
+
+  // The run got its own simulated-time process: machine lanes holding
+  // resident-set spans, "place ..." decision instants carrying the
+  // billing args, and a queue-depth counter track.
+  int sim_pid = -1;
+  std::size_t resident_spans = 0, place_events = 0, queue_samples = 0;
+  for (const Json& e : doc.at("traceEvents").arr) {
+    const int pid = static_cast<int>(e.at("pid").num);
+    if (pid == Trace::kHostPid) continue;
+    const std::string& ph = e.at("ph").str;
+    if (ph == "M") continue;
+    if (sim_pid == -1) sim_pid = pid;
+    EXPECT_EQ(pid, sim_pid) << "one simulate() call must use one pid";
+    const int tid = static_cast<int>(e.at("tid").num);
+    if (ph == "X") {
+      ++resident_spans;
+      EXPECT_GE(tid, 0);
+      EXPECT_LT(tid, 3);
+      EXPECT_TRUE(e.at("args").has("residents"));
+    } else if (ph == "i") {
+      ++place_events;
+      EXPECT_EQ(e.at("name").str.rfind("place ", 0), 0u);
+      const Json& a = e.at("args");
+      EXPECT_TRUE(a.has("policy"));
+      EXPECT_TRUE(a.has("predicted_cost"));
+      EXPECT_TRUE(a.has("true_cost"));
+      EXPECT_TRUE(a.has("regret"));
+    } else if (ph == "C") {
+      EXPECT_EQ(e.at("name").str, "queue_depth");
+      ++queue_samples;
+    }
+  }
+  EXPECT_GT(resident_spans, 0u);
+  EXPECT_EQ(place_events, 60u);  // one decision instant per job
+  EXPECT_GT(queue_samples, 0u);
+}
+
+TEST(TraceTest, TracingNeverChangesClusterResults) {
+  ObsSandbox sandbox;
+  Trace& tr = Trace::instance();
+  tr.stop();
+  tr.clear();
+  const auto plain = run_cluster(11);
+  tr.start();
+  const auto traced = run_cluster(11);
+  tr.stop();
+  tr.clear();
+  EXPECT_EQ(plain.mean_stretch, traced.mean_stretch);
+  EXPECT_EQ(plain.mean_decision_regret, traced.mean_decision_regret);
+  EXPECT_EQ(plain.makespan, traced.makespan);
+  EXPECT_EQ(plain.log.events.size(), traced.log.events.size());
+}
+
+TEST(TraceTest, SeparatePidPerSimulateCall) {
+  ObsSandbox sandbox;
+  Trace& tr = Trace::instance();
+  tr.start();
+  (void)run_cluster(1);
+  (void)run_cluster(2);
+  const Json doc = parse_current_trace();
+  tr.stop();
+  tr.clear();
+  std::vector<int> pids;
+  for (const Json& e : doc.at("traceEvents").arr) {
+    const int pid = static_cast<int>(e.at("pid").num);
+    if (pid != Trace::kHostPid &&
+        std::find(pids.begin(), pids.end(), pid) == pids.end())
+      pids.push_back(pid);
+  }
+  EXPECT_EQ(pids.size(), 2u);
+}
+
+}  // namespace
+}  // namespace coperf::obs
