@@ -1,0 +1,263 @@
+// Fleet-scale scheduler throughput: how fast the indexed cluster
+// engine makes placement decisions at datacenter size, and what regret
+// sampling costs in fidelity.
+//
+// Unlike cluster_regret (which measures a real GroupTruth and sweeps
+// policy quality at 4x3), this bench is about the *event loop itself*:
+// a synthetic 8-type co-run matrix drives a ladder of fleet scales --
+// 1k to 10k machines, 100k to 1M arrivals from the fleet trace
+// generators (bursty arrivals, Pareto work by default) -- and reports
+// decisions/sec, wall time, and the sampled decision regret per rung,
+// for both an O(1)-per-decision policy (random) and the O(open
+// machines) cost-model argmin (oracle over the same matrix, so its
+// regret is ~0 and any drift is engine error).
+//
+//   --quick           first rung only (1000 machines x 100k arrivals)
+//   --machines=N      single rung at N machines (with --jobs)
+//   --jobs=N          single rung at N arrivals (with --machines)
+//   --slots=N         co-run slots per machine (default 2)
+//   --regret-sample=N bill ground-truth regret every Nth decision
+//                     (default 1000; 0 = never)
+//   --arrivals=M      poisson | diurnal | bursty   (default bursty)
+//   --work=M          uniform | pareto             (default pareto)
+//   --trace=FILE      Chrome trace of the run (machine lanes are
+//                     emitted per simulated machine: use small rungs)
+//
+// --json appends machine-readable output and persists it as
+// BENCH_fleet_throughput.json at the repo root (the perf-CI snapshot).
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/cluster.hpp"
+#include "harness/report.hpp"
+#include "snapshot.hpp"
+
+namespace {
+
+/// Deterministic 8-type co-run matrix with hog/victim structure: type
+/// b's aggression and type f's sensitivity rise with the index, so the
+/// matrix spans harmonious (1.0x) to destructive (~1.9x) pairs.
+coperf::harness::CorunMatrix synthetic_fleet_truth(std::size_t n_types) {
+  coperf::harness::CorunMatrix m;
+  for (std::size_t i = 0; i < n_types; ++i) {
+    m.workloads.push_back("t" + std::to_string(i));
+    m.solo_cycles.push_back(1'000'000);
+  }
+  m.normalized.assign(n_types, std::vector<double>(n_types, 1.0));
+  const double den = static_cast<double>(n_types - 1);
+  for (std::size_t f = 0; f < n_types; ++f)
+    for (std::size_t b = 0; b < n_types; ++b) {
+      const double sensitivity = 0.2 + 0.8 * static_cast<double>(f) / den;
+      const double aggression = static_cast<double>(b) / den;
+      m.normalized[f][b] = 1.0 + 1.1 * sensitivity * aggression;
+    }
+  return m;
+}
+
+struct Rung {
+  std::size_t machines;
+  std::size_t jobs;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace coperf;
+  using Clock = std::chrono::steady_clock;
+
+  unsigned machines = 0, jobs = 0, slots = 2, regret_sample = 1000;
+  cluster::ArrivalModel arrivals = cluster::ArrivalModel::Bursty;
+  cluster::WorkModel work = cluster::WorkModel::Pareto;
+  const auto extra = [&](const std::string& arg) {
+    if (arg.rfind("--machines=", 0) == 0) {
+      machines = bench::parse_unsigned("--machines", arg.substr(11));
+      return true;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = bench::parse_unsigned("--jobs", arg.substr(7));
+      return true;
+    }
+    if (arg.rfind("--slots=", 0) == 0) {
+      slots = bench::parse_unsigned("--slots", arg.substr(8));
+      return true;
+    }
+    if (arg.rfind("--regret-sample=", 0) == 0) {
+      regret_sample = bench::parse_unsigned("--regret-sample", arg.substr(16));
+      return true;
+    }
+    if (arg.rfind("--arrivals=", 0) == 0) {
+      const std::string v = arg.substr(11);
+      if (v == "poisson") arrivals = cluster::ArrivalModel::Poisson;
+      else if (v == "diurnal") arrivals = cluster::ArrivalModel::Diurnal;
+      else if (v == "bursty") arrivals = cluster::ArrivalModel::Bursty;
+      else {
+        std::cerr << "--arrivals wants poisson|diurnal|bursty\n";
+        std::exit(2);
+      }
+      return true;
+    }
+    if (arg.rfind("--work=", 0) == 0) {
+      const std::string v = arg.substr(7);
+      if (v == "uniform") work = cluster::WorkModel::Uniform;
+      else if (v == "pareto") work = cluster::WorkModel::Pareto;
+      else {
+        std::cerr << "--work wants uniform|pareto\n";
+        std::exit(2);
+      }
+      return true;
+    }
+    return false;
+  };
+  const auto args = bench::parse_args(
+      argc, argv, /*subset_supported=*/false, extra,
+      "--machines=N --jobs=N --slots=N --regret-sample=N "
+      "--arrivals=poisson|diurnal|bursty --work=uniform|pareto");
+  bench::print_config(args, "fleet-scale cluster engine throughput "
+                            "(decisions/sec on the indexed event loop)");
+  if ((machines == 0) != (jobs == 0)) {
+    std::cerr << "--machines and --jobs go together (one rung)\n";
+    return 2;
+  }
+  if (slots < 2) {
+    std::cerr << "need --slots >= 2\n";
+    return 2;
+  }
+
+  std::vector<Rung> ladder;
+  if (machines != 0) {
+    ladder.push_back({machines, jobs});
+  } else {
+    ladder = {{1'000, 100'000},
+              {2'000, 250'000},
+              {4'000, 500'000},
+              {10'000, 1'000'000}};
+    if (args.quick) ladder.resize(1);
+  }
+
+  const harness::CorunMatrix truth = synthetic_fleet_truth(8);
+
+  struct Row {
+    std::string policy;
+    Rung rung{};
+    double wall_s = 0.0;
+    double dps = 0.0;  ///< placement decisions per second
+    double stretch = 0.0;
+    double regret = 0.0;
+    std::size_t billed = 0;
+    double makespan = 0.0;
+  };
+  std::vector<Row> rows;
+
+  for (const Rung& rung : ladder) {
+    cluster::FleetTraceOptions topt;
+    topt.jobs = rung.jobs;
+    topt.seed = 1;
+    topt.arrivals = arrivals;
+    topt.work = work;
+    topt.class_shares = {0.75, 0.2, 0.05};
+    // ~80% slot utilization at steady state.
+    topt.mean_interarrival =
+        topt.mean_work /
+        (0.8 * static_cast<double>(rung.machines) * slots);
+    const auto trace = cluster::fleet_trace(truth.size(), topt);
+
+    cluster::ClusterConfig cfg;
+    cfg.machines = rung.machines;
+    cfg.slots = slots;
+    cfg.regret_sample = regret_sample;
+
+    cluster::RandomPolicy random{7};
+    cluster::CostModelPolicy oracle{"oracle", truth};
+    cluster::PlacementPolicy* policies[] = {&random, &oracle};
+    for (cluster::PlacementPolicy* policy : policies) {
+      const auto t0 = Clock::now();
+      const auto res = cluster::simulate(cfg, truth, trace, *policy);
+      const double wall =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      Row row;
+      row.policy = policy->name();
+      row.rung = rung;
+      row.wall_s = wall;
+      row.dps = static_cast<double>(rung.jobs) / wall;
+      row.stretch = res.mean_stretch;
+      row.regret = res.mean_decision_regret;
+      row.billed = res.billed_decisions;
+      row.makespan = res.makespan;
+      rows.push_back(row);
+      std::cout << "  " << rung.machines << " machines x " << rung.jobs
+                << " jobs, " << row.policy << ": "
+                << harness::Table::fmt(row.dps / 1e6, 2) << "M decisions/s ("
+                << harness::Table::fmt(wall, 2) << " s)\n";
+    }
+  }
+  std::cout << "\n";
+
+  harness::Table table{{"machines", "jobs", "policy", "wall s",
+                        "decisions/s", "mean stretch", "regret (sampled)",
+                        "billed"}};
+  std::string csv =
+      "machines,jobs,policy,wall_s,decisions_per_s,mean_stretch,"
+      "decision_regret,billed_decisions\n";
+  for (const Row& r : rows) {
+    table.add_row({std::to_string(r.rung.machines),
+                   std::to_string(r.rung.jobs), r.policy,
+                   harness::Table::fmt(r.wall_s, 3),
+                   harness::Table::fmt(r.dps, 0),
+                   harness::Table::fmt(r.stretch, 3),
+                   harness::Table::fmt(r.regret, 4),
+                   std::to_string(r.billed)});
+    csv += std::to_string(r.rung.machines) + "," +
+           std::to_string(r.rung.jobs) + "," + r.policy + "," +
+           harness::Table::fmt(r.wall_s, 4) + "," +
+           harness::Table::fmt(r.dps, 1) + "," +
+           harness::Table::fmt(r.stretch, 4) + "," +
+           harness::Table::fmt(r.regret, 5) + "," +
+           std::to_string(r.billed) + "\n";
+  }
+  table.print(std::cout);
+  std::cout << "\nregret is billed at ground truth on every "
+            << (regret_sample == 0 ? std::string("(never)")
+                                   : std::to_string(regret_sample) + "th")
+            << " decision; the oracle rows should stay ~0 at any scale.\n";
+
+  if (args.csv) std::cout << "\n" << csv;
+  if (args.json) {
+    const auto model_name = [&] {
+      std::string a = arrivals == cluster::ArrivalModel::Poisson ? "poisson"
+                      : arrivals == cluster::ArrivalModel::Diurnal
+                          ? "diurnal"
+                          : "bursty";
+      return a + "+" +
+             (work == cluster::WorkModel::Uniform ? "uniform" : "pareto");
+    }();
+    std::ostringstream js;
+    js << "{\n"
+       << "  \"config\": {\"slots\": " << slots
+       << ", \"regret_sample\": " << regret_sample << ", \"trace\": \""
+       << model_name << "\", \"types\": " << truth.size() << "},\n"
+       << "  \"rungs\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      js << "    {\"machines\": " << r.rung.machines
+         << ", \"jobs\": " << r.rung.jobs << ", \"policy\": \"" << r.policy
+         << "\", \"wall_s\": " << r.wall_s
+         << ", \"decisions_per_s\": " << r.dps
+         << ", \"mean_stretch\": " << r.stretch
+         << ", \"decision_regret\": " << r.regret
+         << ", \"billed_decisions\": " << r.billed
+         << ", \"makespan\": " << r.makespan << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    js << "  ]\n}";
+    std::cout << "\n" << js.str() << "\n";
+    bench::write_snapshot("fleet_throughput", js.str());
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "fleet_throughput failed: " << e.what() << "\n";
+  return 1;
+}

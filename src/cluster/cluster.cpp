@@ -1,8 +1,11 @@
 #include "cluster/cluster.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <deque>
 #include <limits>
+#include <queue>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -17,13 +20,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// Simulated-time scale on the trace: 1 unit of work = 1 ms displayed.
 constexpr double kTraceUsPerUnit = 1000.0;
 
-struct Running {
-  std::size_t job = 0;
-  double remaining = 0.0;  ///< solo-time units still to execute
-};
-
 void validate(const ClusterConfig& cfg, const harness::InterferenceTruth& truth,
-              const std::vector<JobSpec>& trace) {
+              const std::vector<JobSpec>& trace, bool allow_priorities) {
   if (cfg.machines == 0)
     throw std::invalid_argument{"simulate: need at least one machine"};
   if (cfg.slots < 2)
@@ -38,9 +36,161 @@ void validate(const ClusterConfig& cfg, const harness::InterferenceTruth& truth,
       throw std::invalid_argument{"simulate: job work must be positive"};
     if (j.arrival < prev)
       throw std::invalid_argument{"simulate: arrivals must be sorted"};
+    if (j.priority > kMaxPriority)
+      throw std::invalid_argument{"simulate: job priority above kMaxPriority"};
+    if (!allow_priorities && j.priority != 0)
+      throw std::invalid_argument{
+          "simulate_reference: the reference loop is priority-blind"};
     prev = j.arrival;
   }
 }
+
+// --- indexed fleet engine -------------------------------------------
+
+/// One running job in the indexed engine. `remaining` is materialized
+/// as of the owning machine's `upd` time; `slowdown` and `eta` are
+/// valid for the machine's current resident multiset.
+struct Resident {
+  std::size_t job = 0;   ///< trace index
+  std::size_t type = 0;
+  double remaining = 0.0;
+  double slowdown = 1.0;
+  double eta = kInf;     ///< absolute completion estimate
+};
+
+struct MachineState {
+  std::vector<Resident> residents;
+  double upd = 0.0;           ///< time `remaining` values were materialized
+  std::uint64_t version = 0;  ///< bumped on every resident-set change
+  double next_eta = kInf;     ///< min resident eta (ties: lowest slot)
+  std::size_t next_pos = 0;
+};
+
+/// Machines with >= 1 free slot, as a bitset: O(1) toggle, popcount
+/// count, and word-scan enumeration -- the free-slot index behind
+/// ClusterView::kth_open.
+class OpenSet {
+ public:
+  explicit OpenSet(std::size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  void set(std::size_t i) {
+    std::uint64_t& w = words_[i >> 6];
+    const std::uint64_t b = 1ull << (i & 63);
+    if (!(w & b)) {
+      w |= b;
+      ++count_;
+    }
+  }
+  void clear(std::size_t i) {
+    std::uint64_t& w = words_[i >> 6];
+    const std::uint64_t b = 1ull << (i & 63);
+    if (w & b) {
+      w &= ~b;
+      --count_;
+    }
+  }
+  std::size_t count() const { return count_; }
+
+  /// First open machine with index >= from; n (== machines) if none.
+  std::size_t next(std::size_t from) const {
+    if (from >= n_) return n_;
+    std::size_t wi = from >> 6;
+    std::uint64_t w = words_[wi] & (~0ull << (from & 63));
+    while (true) {
+      if (w) return (wi << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      if (++wi == words_.size()) return n_;
+      w = words_[wi];
+    }
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// The policies' window into the engine. Views materialize lazily and
+/// are cached per event stamp; kth_open serves the ascending scans the
+/// policies and the regret billing do in O(1) amortized per step.
+class EngineView final : public ClusterView {
+ public:
+  EngineView(const std::vector<MachineState>& ms, const OpenSet& open,
+             std::size_t slots, const double& t, const std::uint64_t& stamp)
+      : ms_(ms),
+        open_(open),
+        slots_(slots),
+        t_(t),
+        stamp_(stamp),
+        views_(ms.size()),
+        view_stamp_(ms.size(), 0) {}
+
+  std::size_t machines() const override { return ms_.size(); }
+  std::size_t open_count() const override { return open_.count(); }
+
+  std::size_t kth_open(std::size_t k) const override {
+    const bool warm = scan_stamp_ == stamp_;
+    std::size_t m, kk;
+    if (warm && k == last_k_) return last_m_;
+    if (warm && k == last_k_ + 1) {
+      m = open_.next(last_m_ + 1);
+    } else {
+      m = open_.next(0);
+      for (kk = 0; kk < k && m < ms_.size(); ++kk) m = open_.next(m + 1);
+    }
+    if (m >= ms_.size())
+      throw std::out_of_range{"ClusterView::kth_open: index past open set"};
+    scan_stamp_ = stamp_;
+    last_k_ = k;
+    last_m_ = m;
+    return m;
+  }
+
+  std::size_t free_slots(std::size_t m) const override {
+    return slots_ - ms_[m].residents.size();
+  }
+
+  const MachineView& view(std::size_t m) const override {
+    MachineView& v = views_[m];
+    if (view_stamp_[m] != stamp_) {
+      const MachineState& s = ms_[m];
+      v.free_slots = slots_ - s.residents.size();
+      v.residents.clear();
+      for (const Resident& r : s.residents)
+        v.residents.push_back(
+            {r.type,
+             std::max(0.0, r.remaining - (t_ - s.upd) / r.slowdown)});
+      view_stamp_[m] = stamp_;
+    }
+    return v;
+  }
+
+ private:
+  const std::vector<MachineState>& ms_;
+  const OpenSet& open_;
+  std::size_t slots_;
+  const double& t_;
+  const std::uint64_t& stamp_;
+  mutable std::vector<MachineView> views_;
+  mutable std::vector<std::uint64_t> view_stamp_;
+  mutable std::uint64_t scan_stamp_ = 0;
+  mutable std::size_t last_k_ = 0;
+  mutable std::size_t last_m_ = 0;
+};
+
+/// Min-heap entry: machine `machine`'s earliest completion, valid while
+/// its version matches (lazy invalidation -- a resident-set change
+/// bumps the version and pushes a fresh entry).
+struct HeapEntry {
+  double eta = kInf;
+  std::size_t machine = 0;
+  std::uint64_t version = 0;
+};
+struct HeapLater {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.eta != b.eta) return a.eta > b.eta;
+    return a.machine > b.machine;  // deterministic: lowest machine first
+  }
+};
 
 }  // namespace
 
@@ -48,16 +198,28 @@ ClusterResult simulate(const ClusterConfig& cfg,
                        harness::InterferenceTruth& truth,
                        const std::vector<JobSpec>& trace,
                        PlacementPolicy& policy) {
-  validate(cfg, truth, trace);
+  validate(cfg, truth, trace, /*allow_priorities=*/true);
   const std::uint64_t fallbacks_before = truth.fallbacks();
 
-  std::vector<std::vector<Running>> machines(cfg.machines);
-  std::deque<std::size_t> waiting;  // arrived, not yet placed (FIFO)
+  std::vector<MachineState> machines(cfg.machines);
+  OpenSet open(cfg.machines);
+  for (std::size_t m = 0; m < cfg.machines; ++m) open.set(m);
+
+  unsigned max_priority = 0;
+  for (const JobSpec& j : trace) max_priority = std::max(max_priority, j.priority);
+  std::vector<std::deque<std::size_t>> waiting(max_priority + 1);
+  std::size_t waiting_count = 0;
+
   ClusterResult res;
   res.outcomes.resize(trace.size());
   double t = 0.0;
+  std::uint64_t stamp = 1;
   std::size_t next_arrival = 0;
   std::size_t running_count = 0;
+  std::size_t decisions = 0;
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLater> heap;
+  EngineView cview{machines, open, cfg.slots, t, stamp};
 
   // Observability: a simulated-time timeline (own trace process per
   // run, so back-to-back policy sweeps do not overwrite each other's
@@ -85,9 +247,285 @@ ClusterResult simulate(const ClusterConfig& cfg,
     return label;
   };
   // Start of the current constant-resident-set interval, per machine.
-  std::vector<double> lane_since(cfg.machines, 0.0);
+  std::vector<double> lane_since(traced ? cfg.machines : 0, 0.0);
   // Closes machine m's resident-set span at the current time `t`; call
-  // BEFORE mutating machines[m].
+  // BEFORE mutating its residents.
+  const auto close_lane = [&](std::size_t m) {
+    if (!traced) return;
+    if (!machines[m].residents.empty() && t > lane_since[m]) {
+      std::string label;
+      for (const Resident& r : machines[m].residents) {
+        if (!label.empty()) label += '+';
+        label += type_label(r.type);
+      }
+      tr.complete(trace_pid, static_cast<int>(m), std::move(label),
+                  lane_since[m] * kTraceUsPerUnit,
+                  (t - lane_since[m]) * kTraceUsPerUnit,
+                  obs::Args{}.set("residents", machines[m].residents.size())
+                      .str());
+    }
+    lane_since[m] = t;
+  };
+  const auto emit_queue_depth = [&] {
+    if (traced)
+      tr.counter_at(trace_pid, "queue_depth", t * kTraceUsPerUnit,
+                    static_cast<double>(waiting_count));
+  };
+
+  // Brings machine m's remaining-work accounting up to `t`: one
+  // decrement per resident per constant-rate interval, clamped at zero
+  // so completion arithmetic never leaves a negative residue.
+  const auto materialize = [&](MachineState& ms) {
+    if (ms.upd == t) return;
+    for (Resident& r : ms.residents)
+      r.remaining = std::max(0.0, r.remaining - (t - ms.upd) / r.slowdown);
+    ms.upd = t;
+  };
+
+  // Scratch buffers reused across all truth queries and observations.
+  std::vector<std::size_t> others_scratch, group_scratch;
+  std::vector<double> gslow_scratch;
+
+  // Re-derives machine m's cached rates after a resident-set change at
+  // time `t` (call with `remaining` already materialized to `t`): one
+  // truth query per resident, fresh ETAs, new heap entry.
+  const auto reindex = [&](std::size_t m) {
+    MachineState& ms = machines[m];
+    ++ms.version;
+    ms.next_eta = kInf;
+    ms.next_pos = 0;
+    for (std::size_t i = 0; i < ms.residents.size(); ++i) {
+      others_scratch.clear();
+      for (std::size_t j = 0; j < ms.residents.size(); ++j)
+        if (j != i) others_scratch.push_back(ms.residents[j].type);
+      ms.residents[i].slowdown =
+          truth.slowdown(ms.residents[i].type, others_scratch);
+    }
+    for (std::size_t i = 0; i < ms.residents.size(); ++i) {
+      Resident& r = ms.residents[i];
+      r.eta = t + std::max(0.0, r.remaining) * r.slowdown;
+      if (r.eta < ms.next_eta) {
+        ms.next_eta = r.eta;
+        ms.next_pos = i;
+      }
+    }
+    if (!ms.residents.empty()) heap.push({ms.next_eta, m, ms.version});
+  };
+
+  const auto drain_waiting = [&] {
+    while (waiting_count > 0 && open.count() > 0) {
+      std::size_t jid = 0;
+      for (std::size_t c = waiting.size(); c-- > 0;) {
+        if (!waiting[c].empty()) {
+          jid = waiting[c].front();
+          waiting[c].pop_front();
+          --waiting_count;
+          break;
+        }
+      }
+      const JobSpec& job = trace[jid];
+      const std::size_t m = policy.place(job, cview);
+      if (m >= cfg.machines || machines[m].residents.size() >= cfg.slots)
+        throw std::logic_error{"simulate: policy chose a full machine"};
+      // Bill the decision at ground truth: how much worse was the
+      // chosen machine than the best one actually available?
+      const bool billed =
+          cfg.regret_sample != 0 && decisions % cfg.regret_sample == 0;
+      ++decisions;
+      double chosen = 0.0, best = kInf;
+      if (billed) {
+        for (std::size_t v = open.next(0); v < cfg.machines;
+             v = open.next(v + 1)) {
+          const double d =
+              placement_delta(truth, job.type, job.work, cview.view(v));
+          if (v == m) chosen = d;
+          best = std::min(best, d);
+        }
+        res.mean_decision_regret += chosen - best;
+        ++res.billed_decisions;
+      }
+      placements_ctr.add();
+      if (traced) {
+        obs::Args args;
+        args.set("job", job.id)
+            .set("policy", policy.name())
+            .set("predicted_cost", policy.last_cost_delta());
+        if (billed) args.set("true_cost", chosen).set("regret", chosen - best);
+        args.set("queued_for", t - job.arrival);
+        tr.instant_at(trace_pid, static_cast<int>(m),
+                      "place " + type_label(job.type), t * kTraceUsPerUnit,
+                      args.str());
+      }
+      // Report the full group outcome -- every member's true slowdown
+      // in the machine's new resident group. The new job leads, so a
+      // 2-resident group decomposes into the historical observe_pair
+      // order; 3+-resident outcomes are what the deconvolving online
+      // policy refines itself with.
+      if (!machines[m].residents.empty()) {
+        group_scratch.clear();
+        group_scratch.push_back(job.type);
+        for (const Resident& r : machines[m].residents)
+          group_scratch.push_back(r.type);
+        gslow_scratch.assign(group_scratch.size(), 1.0);
+        if (group_scratch.size() == 2) {
+          // Pair outcomes are raw 2-resident entries -- unclamped,
+          // exactly the feedback the legacy loop reported.
+          gslow_scratch[0] = truth.pair_entry(group_scratch[0], group_scratch[1]);
+          gslow_scratch[1] = truth.pair_entry(group_scratch[1], group_scratch[0]);
+        } else {
+          for (std::size_t i = 0; i < group_scratch.size(); ++i)
+            gslow_scratch[i] = truth.slowdown(
+                group_scratch[i], harness::others_excluding(group_scratch, i));
+        }
+        policy.observe_group(group_scratch, gslow_scratch);
+      }
+      close_lane(m);  // the resident set is about to change
+      materialize(machines[m]);
+      machines[m].residents.push_back({jid, job.type, job.work, 1.0, kInf});
+      if (machines[m].residents.size() == cfg.slots) open.clear(m);
+      reindex(m);
+      ++running_count;
+      ++stamp;
+      JobOutcome& out = res.outcomes[jid];
+      out.job = job.id;
+      out.type = job.type;
+      out.machine = m;
+      out.arrival = job.arrival;
+      out.start = t;
+      out.work = job.work;
+      res.log.events.push_back({TraceEvent::Kind::Place, t, job.id, job.type,
+                                m, policy.last_cost_delta()});
+      emit_queue_depth();
+    }
+  };
+
+  while (next_arrival < trace.size() || running_count > 0 ||
+         waiting_count > 0) {
+    // Earliest completion from the heap (stale entries dropped);
+    // ties resolve to the lowest machine then slot, deterministically.
+    double t_done = kInf;
+    std::size_t done_m = 0;
+    while (!heap.empty()) {
+      const HeapEntry& top = heap.top();
+      if (top.version != machines[top.machine].version) {
+        heap.pop();
+        continue;
+      }
+      t_done = top.eta;
+      done_m = top.machine;
+      break;
+    }
+    const double t_arr =
+        next_arrival < trace.size() ? trace[next_arrival].arrival : kInf;
+    if (t_done == kInf && t_arr == kInf)
+      throw std::logic_error{"simulate: stuck with waiting jobs"};
+
+    // Completions first on ties: a freed slot should serve a job
+    // arriving at the same instant.
+    if (t_done <= t_arr) {
+      heap.pop();
+      t = t_done;
+      ++stamp;
+      MachineState& ms = machines[done_m];
+      const std::size_t pos = ms.next_pos;
+      const std::size_t jid = ms.residents[pos].job;
+      close_lane(done_m);  // the resident set is about to change
+      completions_ctr.add();
+      materialize(ms);
+      ms.residents.erase(ms.residents.begin() +
+                         static_cast<std::ptrdiff_t>(pos));
+      open.set(done_m);
+      reindex(done_m);
+      --running_count;
+      JobOutcome& out = res.outcomes[jid];
+      out.finish = t;
+      res.log.events.push_back({TraceEvent::Kind::Finish, t, trace[jid].id,
+                                out.type, done_m, out.corun_slowdown()});
+    } else {
+      const JobSpec& job = trace[next_arrival];
+      t = t_arr;
+      ++stamp;
+      res.log.events.push_back(
+          {TraceEvent::Kind::Arrive, t, job.id, job.type, 0, 0.0});
+      waiting[job.priority].push_back(next_arrival);
+      ++waiting_count;
+      ++next_arrival;
+      emit_queue_depth();
+    }
+    drain_waiting();
+  }
+
+  if (!res.outcomes.empty()) {
+    for (const JobOutcome& o : res.outcomes) {
+      res.mean_stretch += o.stretch();
+      res.mean_corun_slowdown += o.corun_slowdown();
+      res.makespan = std::max(res.makespan, o.finish);
+    }
+    res.mean_stretch /= static_cast<double>(res.outcomes.size());
+    res.mean_corun_slowdown /= static_cast<double>(res.outcomes.size());
+  }
+  if (res.billed_decisions > 0)
+    res.mean_decision_regret /= static_cast<double>(res.billed_decisions);
+  res.pairwise_fallbacks = truth.fallbacks() - fallbacks_before;
+  return res;
+}
+
+ClusterResult simulate(const ClusterConfig& cfg,
+                       const harness::CorunMatrix& truth,
+                       const std::vector<JobSpec>& trace,
+                       PlacementPolicy& policy) {
+  harness::MatrixTruth additive{truth};
+  return simulate(cfg, additive, trace, policy);
+}
+
+// --- reference engine (the executable specification) ----------------
+
+namespace {
+
+struct Running {
+  std::size_t job = 0;
+  double remaining = 0.0;  ///< solo-time units still to execute
+};
+
+}  // namespace
+
+ClusterResult simulate_reference(const ClusterConfig& cfg,
+                                 harness::InterferenceTruth& truth,
+                                 const std::vector<JobSpec>& trace,
+                                 PlacementPolicy& policy) {
+  validate(cfg, truth, trace, /*allow_priorities=*/false);
+  const std::uint64_t fallbacks_before = truth.fallbacks();
+
+  std::vector<std::vector<Running>> machines(cfg.machines);
+  std::deque<std::size_t> waiting;  // arrived, not yet placed (FIFO)
+  ClusterResult res;
+  res.outcomes.resize(trace.size());
+  double t = 0.0;
+  std::size_t next_arrival = 0;
+  std::size_t running_count = 0;
+
+  obs::Trace& tr = obs::Trace::instance();
+  const bool traced = tr.enabled();
+  const int trace_pid = traced ? tr.next_pid() : 0;
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Counter& placements_ctr = reg.counter("cluster.placements");
+  obs::Counter& completions_ctr = reg.counter("cluster.completions");
+  if (traced) {
+    tr.name_process(trace_pid, "cluster " + policy.name() + " (" +
+                                   std::to_string(cfg.machines) + "x" +
+                                   std::to_string(cfg.slots) +
+                                   ", simulated time, reference)");
+    for (std::size_t m = 0; m < cfg.machines; ++m)
+      tr.name_thread(trace_pid, static_cast<int>(m),
+                     "machine " + std::to_string(m));
+  }
+  const auto type_label = [&](std::size_t type) -> std::string {
+    if (type < cfg.type_names.size()) return cfg.type_names[type];
+    std::string label{"t"};
+    label += std::to_string(type);
+    return label;
+  };
+  std::vector<double> lane_since(cfg.machines, 0.0);
   const auto close_lane = [&](std::size_t m) {
     if (!traced) return;
     if (!machines[m].empty() && t > lane_since[m]) {
@@ -138,8 +576,6 @@ ClusterResult simulate(const ClusterConfig& cfg,
       const std::size_t m = policy.place(job, views);
       if (m >= cfg.machines || machines[m].size() >= cfg.slots)
         throw std::logic_error{"simulate: policy chose a full machine"};
-      // Bill the decision at ground truth: how much worse was the
-      // chosen machine than the best one actually available?
       double chosen = 0.0, best = kInf;
       for (std::size_t v = 0; v < views.size(); ++v) {
         if (views[v].free_slots == 0) continue;
@@ -153,18 +589,13 @@ ClusterResult simulate(const ClusterConfig& cfg,
         tr.instant_at(trace_pid, static_cast<int>(m),
                       "place " + type_label(job.type), t * kTraceUsPerUnit,
                       obs::Args{}
-                          .set("job", jid)
+                          .set("job", job.id)
                           .set("policy", policy.name())
                           .set("predicted_cost", policy.last_cost_delta())
                           .set("true_cost", chosen)
                           .set("regret", chosen - best)
                           .set("queued_for", t - job.arrival)
                           .str());
-      // Report the full group outcome -- every member's true slowdown
-      // in the machine's new resident group. The new job leads, so a
-      // 2-resident group decomposes into the historical observe_pair
-      // order; 3+-resident outcomes are what the deconvolving online
-      // policy refines itself with.
       if (!machines[m].empty()) {
         std::vector<std::size_t> group;
         group.reserve(machines[m].size() + 1);
@@ -173,8 +604,6 @@ ClusterResult simulate(const ClusterConfig& cfg,
           group.push_back(trace[r.job].type);
         std::vector<double> slowdowns(group.size(), 1.0);
         if (group.size() == 2) {
-          // Pair outcomes are raw 2-resident entries -- unclamped,
-          // exactly the feedback the legacy loop reported.
           slowdowns[0] = truth.pair_entry(group[0], group[1]);
           slowdowns[1] = truth.pair_entry(group[1], group[0]);
         } else {
@@ -188,14 +617,14 @@ ClusterResult simulate(const ClusterConfig& cfg,
       machines[m].push_back({jid, job.work});
       ++running_count;
       JobOutcome& out = res.outcomes[jid];
-      out.job = jid;
+      out.job = job.id;
       out.type = job.type;
       out.machine = m;
       out.arrival = job.arrival;
       out.start = t;
       out.work = job.work;
-      res.log.events.push_back({TraceEvent::Kind::Place, t, jid, job.type, m,
-                                policy.last_cost_delta()});
+      res.log.events.push_back({TraceEvent::Kind::Place, t, job.id, job.type,
+                                m, policy.last_cost_delta()});
       emit_queue_depth();
     }
   };
@@ -238,8 +667,8 @@ ClusterResult simulate(const ClusterConfig& cfg,
       --running_count;
       JobOutcome& out = res.outcomes[jid];
       out.finish = t;
-      res.log.events.push_back({TraceEvent::Kind::Finish, t, jid, out.type,
-                                done_m, out.corun_slowdown()});
+      res.log.events.push_back({TraceEvent::Kind::Finish, t, trace[jid].id,
+                                out.type, done_m, out.corun_slowdown()});
     } else {
       const JobSpec& job = trace[next_arrival];
       res.log.events.push_back(
@@ -252,6 +681,7 @@ ClusterResult simulate(const ClusterConfig& cfg,
   }
 
   if (!res.outcomes.empty()) {
+    res.billed_decisions = res.outcomes.size();
     for (const JobOutcome& o : res.outcomes) {
       res.mean_stretch += o.stretch();
       res.mean_corun_slowdown += o.corun_slowdown();
@@ -265,12 +695,12 @@ ClusterResult simulate(const ClusterConfig& cfg,
   return res;
 }
 
-ClusterResult simulate(const ClusterConfig& cfg,
-                       const harness::CorunMatrix& truth,
-                       const std::vector<JobSpec>& trace,
-                       PlacementPolicy& policy) {
+ClusterResult simulate_reference(const ClusterConfig& cfg,
+                                 const harness::CorunMatrix& truth,
+                                 const std::vector<JobSpec>& trace,
+                                 PlacementPolicy& policy) {
   harness::MatrixTruth additive{truth};
-  return simulate(cfg, additive, trace, policy);
+  return simulate_reference(cfg, additive, trace, policy);
 }
 
 }  // namespace coperf::cluster

@@ -16,6 +16,29 @@
 // converges on the truth without dedicated pair runs. Everything is
 // deterministic: same trace + same policy state => byte-identical
 // audit log.
+//
+// Two engines share the semantics:
+//
+//  * simulate() -- the fleet-scale indexed event loop. Per-machine
+//    resident slowdowns and absolute completion ETAs are cached and
+//    recomputed only when that machine's resident multiset changes; a
+//    lazy binary heap of per-machine next completions (deterministic
+//    (eta, machine, slot) tie-breaking) replaces the per-event
+//    machines x slots rescan, and a free-slot bitset index feeds the
+//    policies' ClusterView so a decision prices only candidate
+//    machines. Completion arithmetic is drift-free: each resident's
+//    remaining work is decremented once per constant-rate interval
+//    (clamped at zero), not once per global event. Scales to
+//    thousands of machines and millions of arrivals.
+//  * simulate_reference() -- the original O(machines x slots)-per-event
+//    scan loop, kept verbatim as the executable specification. The
+//    equivalence suite pins simulate() against it: byte-identical
+//    audit logs and matching regret on the shared fixtures. Exact
+//    arithmetic is identical between the engines; floating-point
+//    rounding may differ below the log's fixed precision because the
+//    reference decrements remaining work at every global event.
+//    Priority classes are a fleet-engine feature; the reference loop
+//    rejects traces that use them.
 #pragma once
 
 #include <cstddef>
@@ -37,11 +60,18 @@ struct ClusterConfig {
   /// the observability timeline (obs::Trace); empty = "t<type>". Has
   /// no effect on simulation results.
   std::vector<std::string> type_names;
+  /// Bill ground-truth decision regret on every Nth placement (1 =
+  /// every placement, the exact legacy accounting; 0 = never).
+  /// Billing prices every open machine at ground truth, so sampling
+  /// keeps fleet-scale runs affordable; mean_decision_regret averages
+  /// over the billed decisions only, and skipped decisions issue no
+  /// truth queries (so pairwise_fallbacks shrinks accordingly).
+  std::size_t regret_sample = 1;
 };
 
 /// What happened to one job.
 struct JobOutcome {
-  std::size_t job = 0;
+  std::size_t job = 0;  ///< JobSpec::id
   std::size_t type = 0;
   std::size_t machine = 0;
   double arrival = 0.0;
@@ -56,27 +86,33 @@ struct JobOutcome {
 };
 
 struct ClusterResult {
-  std::vector<JobOutcome> outcomes;
+  std::vector<JobOutcome> outcomes;  ///< indexed by trace position
   TraceLog log;
   double mean_stretch = 0.0;         ///< mean JobOutcome::stretch()
   double mean_corun_slowdown = 0.0;  ///< mean JobOutcome::corun_slowdown()
   double makespan = 0.0;             ///< time the last job finished
   /// Placement regret, billed per decision at ground truth: mean over
-  /// jobs of (true admission_delta of the chosen machine) - (true
-  /// admission_delta of the best available machine). Zero for the
-  /// group-truth oracle by construction; the decision-quality metric
-  /// the regret bench and tests compare, immune to downstream queueing
-  /// chaos that otherwise drowns out the placement signal in
-  /// mean_stretch.
+  /// billed decisions of (true admission_delta of the chosen machine)
+  /// - (true admission_delta of the best available machine). Zero for
+  /// the group-truth oracle by construction; the decision-quality
+  /// metric the regret bench and tests compare, immune to downstream
+  /// queueing chaos that otherwise drowns out the placement signal in
+  /// mean_stretch. With ClusterConfig::regret_sample == 1 every
+  /// decision is billed (the legacy accounting).
   double mean_decision_regret = 0.0;
+  /// Decisions actually billed at ground truth (== outcomes.size()
+  /// unless regret_sample != 1).
+  std::size_t billed_decisions = 0;
   /// Ground-truth queries this run answered by additive pairwise
   /// composition instead of a measurement (resident groups above the
   /// truth's measured arity; every 3+-resident query for MatrixTruth).
   std::uint64_t pairwise_fallbacks = 0;
 };
 
-/// Runs the event loop: arrivals are queued FIFO, admitted whenever a
-/// slot is free (policy picks the machine), and run to completion at a
+/// Runs the indexed event loop: arrivals queue per priority class
+/// (FIFO within a class, higher classes first; all-zero priorities ==
+/// plain FIFO), a job is admitted whenever a slot is free (policy
+/// picks the machine through ClusterView), and runs to completion at a
 /// rate of 1/slowdown where the slowdown is the truth oracle's answer
 /// for the machine's current resident group. Each placement reports
 /// the full new group outcome (per-member true slowdowns) to the
@@ -89,8 +125,9 @@ struct ClusterResult {
 /// (a span per interval of constant resident multiset, labeled with
 /// the member names), a per-decision instant event on the chosen
 /// machine's lane carrying the policy name, its predicted cost, the
-/// true cost, and the billed regret, plus a queue-depth counter track.
-/// Tracing never changes results -- it only reads simulator state.
+/// true cost, and the billed regret (true cost/regret only on billed
+/// decisions), plus a queue-depth counter track. Tracing never changes
+/// results -- it only reads simulator state.
 ClusterResult simulate(const ClusterConfig& cfg,
                        harness::InterferenceTruth& truth,
                        const std::vector<JobSpec>& trace,
@@ -104,5 +141,22 @@ ClusterResult simulate(const ClusterConfig& cfg,
                        const harness::CorunMatrix& truth,
                        const std::vector<JobSpec>& trace,
                        PlacementPolicy& policy);
+
+/// The pre-fleet event loop, kept as the executable specification for
+/// the equivalence suite: full machines x slots rescan per event,
+/// remaining work decremented at every global event, every MachineView
+/// materialized per waiting job, every decision billed
+/// (regret_sample is ignored). Priority-blind: throws if the trace
+/// uses priority classes. Do not use at fleet scale.
+ClusterResult simulate_reference(const ClusterConfig& cfg,
+                                 harness::InterferenceTruth& truth,
+                                 const std::vector<JobSpec>& trace,
+                                 PlacementPolicy& policy);
+
+/// Reference loop over additive pairwise composition (MatrixTruth).
+ClusterResult simulate_reference(const ClusterConfig& cfg,
+                                 const harness::CorunMatrix& truth,
+                                 const std::vector<JobSpec>& trace,
+                                 PlacementPolicy& policy);
 
 }  // namespace coperf::cluster

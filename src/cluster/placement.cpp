@@ -10,15 +10,25 @@
 
 namespace coperf::cluster {
 
+VectorClusterView::VectorClusterView(const std::vector<MachineView>& views)
+    : views_(views) {
+  for (const MachineView& v : views_)
+    if (v.free_slots > 0) ++open_count_;
+}
+
+std::size_t VectorClusterView::kth_open(std::size_t k) const {
+  for (std::size_t m = 0; m < views_.size(); ++m)
+    if (views_[m].free_slots > 0 && k-- == 0) return m;
+  throw std::out_of_range{"VectorClusterView::kth_open: index past open set"};
+}
+
 std::size_t RandomPolicy::place(const JobSpec& job,
-                                const std::vector<MachineView>& machines) {
+                                const ClusterView& cluster) {
   (void)job;
-  std::vector<std::size_t> open;
-  for (std::size_t m = 0; m < machines.size(); ++m)
-    if (machines[m].free_slots > 0) open.push_back(m);
-  if (open.empty())
+  const std::size_t open = cluster.open_count();
+  if (open == 0)
     throw std::logic_error{"RandomPolicy::place: no machine has a free slot"};
-  return open[rng_.below(open.size())];
+  return cluster.kth_open(rng_.below(open));
 }
 
 CostModelPolicy::CostModelPolicy(std::string name, harness::CorunMatrix estimate)
@@ -29,11 +39,13 @@ CostModelPolicy::CostModelPolicy(std::string name, harness::CorunMatrix estimate
 
 double placement_delta(const harness::CorunMatrix& est, std::size_t job_type,
                        double job_work, const MachineView& machine) {
-  std::vector<std::size_t> types;
-  types.reserve(machine.residents.size());
-  for (const ResidentView& r : machine.residents) types.push_back(r.type);
-  double delta =
-      (harness::corun_slowdown(est, job_type, types) - 1.0) * job_work;
+  // harness::corun_slowdown inlined over the resident views so the hot
+  // path allocates nothing; arithmetic is kept identical (sum the
+  // excesses, clamp at 1.0).
+  double excess = 0.0;
+  for (const ResidentView& r : machine.residents)
+    excess += est.at(job_type, r.type) - 1.0;
+  double delta = (std::max(1.0, 1.0 + excess) - 1.0) * job_work;
   for (const ResidentView& r : machine.residents)
     delta += (est.at(r.type, job_type) - 1.0) * r.remaining;
   return delta;
@@ -41,10 +53,13 @@ double placement_delta(const harness::CorunMatrix& est, std::size_t job_type,
 
 double placement_delta(harness::InterferenceTruth& truth, std::size_t job_type,
                        double job_work, const MachineView& machine) {
-  std::vector<std::size_t> types;
-  std::vector<double> remaining;
-  types.reserve(machine.residents.size());
-  remaining.reserve(machine.residents.size());
+  // Reused scratch: admission_delta takes vectors, and this is priced
+  // once per candidate machine per decision -- at fleet scale that is
+  // the regret-billing hot path.
+  static thread_local std::vector<std::size_t> types;
+  static thread_local std::vector<double> remaining;
+  types.clear();
+  remaining.clear();
   for (const ResidentView& r : machine.residents) {
     types.push_back(r.type);
     remaining.push_back(std::max(0.0, r.remaining));
@@ -60,42 +75,44 @@ GroupTruthPolicy::GroupTruthPolicy(std::string name,
 }
 
 std::size_t GroupTruthPolicy::place(const JobSpec& job,
-                                    const std::vector<MachineView>& machines) {
+                                    const ClusterView& cluster) {
   if (job.type >= truth_.size())
     throw std::out_of_range{"GroupTruthPolicy::place: job type outside truth"};
-  std::size_t best = machines.size();
+  std::size_t best = cluster.machines();
   double best_delta = std::numeric_limits<double>::infinity();
-  for (std::size_t m = 0; m < machines.size(); ++m) {
-    if (machines[m].free_slots == 0) continue;
+  const std::size_t open = cluster.open_count();
+  for (std::size_t k = 0; k < open; ++k) {
+    const std::size_t m = cluster.kth_open(k);
     const double delta =
-        placement_delta(truth_, job.type, job.work, machines[m]);
+        placement_delta(truth_, job.type, job.work, cluster.view(m));
     if (delta < best_delta) {
       best_delta = delta;
       best = m;
     }
   }
-  if (best == machines.size())
+  if (best == cluster.machines())
     throw std::logic_error{name_ + "::place: no machine has a free slot"};
   last_delta_ = best_delta;
   return best;
 }
 
 std::size_t CostModelPolicy::place(const JobSpec& job,
-                                   const std::vector<MachineView>& machines) {
+                                   const ClusterView& cluster) {
   if (job.type >= estimate_.size())
     throw std::out_of_range{"CostModelPolicy::place: job type outside matrix"};
-  std::size_t best = machines.size();
+  std::size_t best = cluster.machines();
   double best_delta = std::numeric_limits<double>::infinity();
-  for (std::size_t m = 0; m < machines.size(); ++m) {
-    if (machines[m].free_slots == 0) continue;
+  const std::size_t open = cluster.open_count();
+  for (std::size_t k = 0; k < open; ++k) {
+    const std::size_t m = cluster.kth_open(k);
     const double delta =
-        placement_delta(estimate_, job.type, job.work, machines[m]);
+        placement_delta(estimate_, job.type, job.work, cluster.view(m));
     if (delta < best_delta) {
       best_delta = delta;
       best = m;
     }
   }
-  if (best == machines.size())
+  if (best == cluster.machines())
     throw std::logic_error{name_ + "::place: no machine has a free slot"};
   last_delta_ = best_delta;
   return best;
@@ -119,9 +136,9 @@ OnlineRefinedPolicy::OnlineRefinedPolicy(
 }
 
 std::size_t OnlineRefinedPolicy::place(const JobSpec& job,
-                                       const std::vector<MachineView>& machines) {
+                                       const ClusterView& cluster) {
   refresh_unobserved();
-  return CostModelPolicy::place(job, machines);
+  return CostModelPolicy::place(job, cluster);
 }
 
 void OnlineRefinedPolicy::observe_pair(std::size_t fg_type,

@@ -11,6 +11,14 @@
 // group-truth oracle directly -- the zero-regret reference the regret
 // bench compares against. Policies own all their randomness, so a
 // fresh policy with the same seed replays identically.
+//
+// Policies see the cluster through ClusterView: a free-slot index
+// (open_count/kth_open, ascending machine order) plus lazily
+// materialized per-machine MachineViews. The simulator's fleet-scale
+// implementation only materializes the machines a policy actually
+// prices; the legacy vector-of-views entry point is kept as a thin
+// adapter (VectorClusterView) so hand-built views in tests and the
+// reference event loop keep working unchanged.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +47,47 @@ struct MachineView {
   std::vector<ResidentView> residents;
 };
 
+/// What a policy sees of the cluster at decision time. kth_open
+/// enumerates machines with a free slot in ascending index order --
+/// the deterministic candidate order every policy iterates -- and
+/// view() materializes a machine's residents on demand, so pricing N
+/// candidates costs O(N x slots) instead of rebuilding every machine.
+class ClusterView {
+ public:
+  virtual ~ClusterView() = default;
+
+  /// Total machines in the cluster.
+  virtual std::size_t machines() const = 0;
+  /// Machines with at least one free slot.
+  virtual std::size_t open_count() const = 0;
+  /// The k-th (0-based) open machine in ascending index order. The
+  /// simulator's implementation serves ascending k in O(1) amortized.
+  virtual std::size_t kth_open(std::size_t k) const = 0;
+  virtual std::size_t free_slots(std::size_t m) const = 0;
+  /// Machine m's residents and free slots, materialized on demand.
+  virtual const MachineView& view(std::size_t m) const = 0;
+};
+
+/// Adapter over a caller-built vector of MachineViews (tests, the
+/// reference event loop). kth_open is a count-then-pick scan, so even
+/// the adapter allocates nothing.
+class VectorClusterView final : public ClusterView {
+ public:
+  explicit VectorClusterView(const std::vector<MachineView>& views);
+
+  std::size_t machines() const override { return views_.size(); }
+  std::size_t open_count() const override { return open_count_; }
+  std::size_t kth_open(std::size_t k) const override;
+  std::size_t free_slots(std::size_t m) const override {
+    return views_[m].free_slots;
+  }
+  const MachineView& view(std::size_t m) const override { return views_[m]; }
+
+ private:
+  const std::vector<MachineView>& views_;
+  std::size_t open_count_ = 0;
+};
+
 /// Estimated machine time that admitting `job_type` with `job_work`
 /// units of work adds to `machine`, priced by the slowdown matrix
 /// `est`: the job's own excess slowdown persists for its whole work,
@@ -46,7 +95,7 @@ struct MachineView {
 /// resident's remaining work. The shared cost primitive: the
 /// cost-model policies minimize it over machines, and the simulator
 /// re-prices every decision with it at ground truth to compute
-/// per-decision placement regret.
+/// per-decision placement regret. Allocation-free.
 double placement_delta(const harness::CorunMatrix& est, std::size_t job_type,
                        double job_work, const MachineView& machine);
 
@@ -68,7 +117,15 @@ class PlacementPolicy {
   /// machine is guaranteed; choosing a full one is a policy bug the
   /// simulator rejects.
   virtual std::size_t place(const JobSpec& job,
-                            const std::vector<MachineView>& machines) = 0;
+                            const ClusterView& cluster) = 0;
+
+  /// Legacy convenience entry point over caller-built views; forwards
+  /// to the ClusterView overload. (Derived classes re-export it with
+  /// `using PlacementPolicy::place;`.)
+  std::size_t place(const JobSpec& job,
+                    const std::vector<MachineView>& machines) {
+    return place(job, VectorClusterView{machines});
+  }
 
   /// Ground-truth feedback after a placement: the normalized runtime of
   /// fg_type when bg_type shares its machine. Default: ignore.
@@ -96,13 +153,14 @@ class PlacementPolicy {
 };
 
 /// Uniform random over machines with a free slot -- the no-information
-/// baseline.
+/// baseline. Count-then-pick over the free-slot index, so a decision
+/// allocates nothing at any fleet size.
 class RandomPolicy final : public PlacementPolicy {
  public:
   explicit RandomPolicy(std::uint64_t seed = 1) : rng_(seed) {}
   std::string name() const override { return "random"; }
-  std::size_t place(const JobSpec& job,
-                    const std::vector<MachineView>& machines) override;
+  using PlacementPolicy::place;
+  std::size_t place(const JobSpec& job, const ClusterView& cluster) override;
 
  private:
   util::SplitMix64 rng_;
@@ -120,8 +178,8 @@ class CostModelPolicy : public PlacementPolicy {
   CostModelPolicy(std::string name, harness::CorunMatrix estimate);
 
   std::string name() const override { return name_; }
-  std::size_t place(const JobSpec& job,
-                    const std::vector<MachineView>& machines) override;
+  using PlacementPolicy::place;
+  std::size_t place(const JobSpec& job, const ClusterView& cluster) override;
   double last_cost_delta() const override { return last_delta_; }
 
   const harness::CorunMatrix& estimate() const { return estimate_; }
@@ -144,8 +202,8 @@ class GroupTruthPolicy final : public PlacementPolicy {
   GroupTruthPolicy(std::string name, harness::InterferenceTruth& truth);
 
   std::string name() const override { return name_; }
-  std::size_t place(const JobSpec& job,
-                    const std::vector<MachineView>& machines) override;
+  using PlacementPolicy::place;
+  std::size_t place(const JobSpec& job, const ClusterView& cluster) override;
   double last_cost_delta() const override { return last_delta_; }
 
  private:
@@ -172,8 +230,8 @@ class OnlineRefinedPolicy final : public CostModelPolicy {
                       std::unique_ptr<predict::InterferenceModel> model,
                       std::vector<predict::WorkloadSignature> sigs);
 
-  std::size_t place(const JobSpec& job,
-                    const std::vector<MachineView>& machines) override;
+  using CostModelPolicy::place;
+  std::size_t place(const JobSpec& job, const ClusterView& cluster) override;
   void observe_pair(std::size_t fg_type, std::size_t bg_type,
                     double slowdown) override;
   void observe_group(const std::vector<std::size_t>& types,

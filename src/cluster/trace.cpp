@@ -10,6 +10,10 @@
 
 namespace coperf::cluster {
 
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925287;
+}  // namespace
+
 std::vector<JobSpec> synthetic_trace(std::size_t n_types,
                                      const TraceOptions& opt) {
   if (n_types == 0)
@@ -29,6 +33,106 @@ std::vector<JobSpec> synthetic_trace(std::size_t n_types,
     j.type = static_cast<std::size_t>(rng.below(n_types));
     j.arrival = t;
     j.work = opt.mean_work * (0.5 + rng.uniform());
+    trace.push_back(j);
+  }
+  return trace;
+}
+
+std::vector<JobSpec> fleet_trace(std::size_t n_types,
+                                 const FleetTraceOptions& opt) {
+  if (n_types == 0)
+    throw std::invalid_argument{"fleet_trace: no workload types"};
+  if (opt.mean_interarrival <= 0.0 || opt.mean_work <= 0.0)
+    throw std::invalid_argument{
+        "fleet_trace: interarrival/work means must be positive"};
+  if (opt.diurnal_amplitude < 0.0 || opt.diurnal_amplitude >= 1.0)
+    throw std::invalid_argument{
+        "fleet_trace: diurnal_amplitude must be in [0, 1)"};
+  if (opt.diurnal_period <= 0.0)
+    throw std::invalid_argument{"fleet_trace: diurnal_period must be positive"};
+  if (opt.burst_boost < 1.0 || opt.burst_on <= 0.0 || opt.burst_on >= 1.0 ||
+      opt.burst_mean_len < 1.0)
+    throw std::invalid_argument{
+        "fleet_trace: need burst_boost >= 1, burst_on in (0, 1), "
+        "burst_mean_len >= 1"};
+  if (opt.pareto_alpha <= 1.0)
+    throw std::invalid_argument{
+        "fleet_trace: pareto_alpha must be > 1 (finite mean)"};
+  if (opt.work_cap <= 1.0)
+    throw std::invalid_argument{"fleet_trace: work_cap must be > 1"};
+  if (opt.class_shares.size() > kMaxPriority + 1)
+    throw std::invalid_argument{"fleet_trace: too many priority classes"};
+  double share_sum = 0.0;
+  for (const double s : opt.class_shares) {
+    if (s <= 0.0)
+      throw std::invalid_argument{
+          "fleet_trace: class shares must be positive"};
+    share_sum += s;
+  }
+
+  util::SplitMix64 rng{opt.seed};
+  // Pareto scaled to unit mean: multiplier = xm / (1-u)^(1/alpha) with
+  // xm = (alpha-1)/alpha, so E[multiplier] = 1 before the cap.
+  const double xm = (opt.pareto_alpha - 1.0) / opt.pareto_alpha;
+  const double base_rate = 1.0 / opt.mean_interarrival;
+  // Burst state flips per arrival: exit with probability 1/mean_len,
+  // enter so the long-run arrival fraction inside bursts is burst_on.
+  const double p_exit = 1.0 / opt.burst_mean_len;
+  const double p_enter =
+      opt.burst_on / (1.0 - opt.burst_on) / opt.burst_mean_len;
+
+  std::vector<JobSpec> trace;
+  trace.reserve(opt.jobs);
+  double t = 0.0;
+  bool bursting = false;
+  for (std::size_t i = 0; i < opt.jobs; ++i) {
+    // Instantaneous rate at the current time/state; the exponential
+    // draw uses it directly (stepwise-constant approximation of the
+    // nonhomogeneous process -- deterministic and plenty for a
+    // synthetic generator).
+    double rate = base_rate;
+    switch (opt.arrivals) {
+      case ArrivalModel::Poisson:
+        break;
+      case ArrivalModel::Diurnal:
+        rate *= 1.0 + opt.diurnal_amplitude *
+                          std::sin(kTwoPi * t / opt.diurnal_period);
+        break;
+      case ArrivalModel::Bursty:
+        if (bursting) {
+          rate *= opt.burst_boost;
+          if (rng.uniform() < p_exit) bursting = false;
+        } else if (rng.uniform() < p_enter) {
+          bursting = true;
+        }
+        break;
+    }
+    t += -std::log(1.0 - rng.uniform()) / rate;
+
+    JobSpec j;
+    j.id = i;
+    j.type = static_cast<std::size_t>(rng.below(n_types));
+    j.arrival = t;
+    switch (opt.work) {
+      case WorkModel::Uniform:
+        j.work = opt.mean_work * (0.5 + rng.uniform());
+        break;
+      case WorkModel::Pareto:
+        j.work = opt.mean_work *
+                 std::min(opt.work_cap,
+                          xm / std::pow(1.0 - rng.uniform(),
+                                        1.0 / opt.pareto_alpha));
+        break;
+    }
+    if (!opt.class_shares.empty()) {
+      double u = rng.uniform() * share_sum;
+      unsigned cls = 0;
+      for (; cls + 1 < opt.class_shares.size(); ++cls) {
+        if (u < opt.class_shares[cls]) break;
+        u -= opt.class_shares[cls];
+      }
+      j.priority = cls;
+    }
     trace.push_back(j);
   }
   return trace;

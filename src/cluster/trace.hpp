@@ -4,11 +4,14 @@
 // instance of one of the co-run matrix's workload types, with an
 // arrival time and a solo-work demand. synthetic_trace() draws one
 // deterministically from a seed (exponential interarrivals, uniform
-// work, uniform types), so every experiment is reproducible
-// bit-for-bit. TraceLog is the simulator's output side: every arrival,
-// placement, and completion, rendered to text with fixed precision so
-// the same seed yields byte-identical logs (the determinism property
-// tests/cluster_test.cpp locks).
+// work, uniform types); fleet_trace() generalizes it to datacenter
+// shapes -- diurnal load, bursty (two-state modulated) arrivals,
+// heavy-tailed Pareto durations, and job priority classes -- so every
+// experiment is reproducible bit-for-bit at any scale. TraceLog is the
+// simulator's output side: every arrival, placement, and completion,
+// rendered to text with fixed precision so the same seed yields
+// byte-identical logs (the determinism property tests/cluster_test.cpp
+// locks).
 #pragma once
 
 #include <cstddef>
@@ -19,12 +22,19 @@
 
 namespace coperf::cluster {
 
+/// Highest admissible JobSpec::priority (inclusive): the simulator
+/// keeps one FIFO lane per class, so the class count stays small.
+inline constexpr unsigned kMaxPriority = 7;
+
 /// One job in the arrival stream.
 struct JobSpec {
-  std::size_t id = 0;    ///< dense, trace order
+  std::size_t id = 0;    ///< stable identity, echoed verbatim in the log
   std::size_t type = 0;  ///< index into the co-run matrix's workload axis
   double arrival = 0.0;  ///< simulated seconds, non-decreasing
   double work = 1.0;     ///< solo execution time this job needs
+  /// Priority class (0 = best effort). Higher classes leave the
+  /// waiting queue first; FIFO within a class. <= kMaxPriority.
+  unsigned priority = 0;
 
   bool operator==(const JobSpec&) const = default;
 };
@@ -41,12 +51,61 @@ struct TraceOptions {
 std::vector<JobSpec> synthetic_trace(std::size_t n_types,
                                      const TraceOptions& opt);
 
+/// Arrival-process shapes for fleet_trace().
+enum class ArrivalModel {
+  Poisson,  ///< constant-rate exponential interarrivals
+  /// Rate modulated sinusoidally: rate(t) = base * (1 + amplitude *
+  /// sin(2*pi*t / period)) -- the day/night load swing.
+  Diurnal,
+  /// Two-state modulated Poisson: a burst state multiplies the rate by
+  /// burst_boost; state flips per arrival with probabilities derived
+  /// from burst_on / burst_mean_len. Models incast/retry storms.
+  Bursty,
+};
+
+/// Work-demand shapes for fleet_trace().
+enum class WorkModel {
+  Uniform,  ///< uniform in [0.5, 1.5] x mean_work (synthetic_trace's law)
+  /// Pareto(alpha) scaled to unit mean, capped at work_cap x -- the
+  /// heavy tail real cluster traces show (most jobs short, a few huge).
+  Pareto,
+};
+
+struct FleetTraceOptions {
+  std::size_t jobs = 100'000;
+  std::uint64_t seed = 1;
+  double mean_interarrival = 1.0;  ///< base (long-run) interarrival mean
+
+  ArrivalModel arrivals = ArrivalModel::Poisson;
+  double diurnal_period = 1024.0;   ///< simulated time units per "day"
+  double diurnal_amplitude = 0.75;  ///< in [0, 1): peak-to-mean swing
+  double burst_boost = 8.0;         ///< rate multiplier inside a burst
+  double burst_on = 0.1;            ///< long-run fraction of bursty arrivals
+  double burst_mean_len = 50.0;     ///< mean arrivals per burst episode
+
+  WorkModel work = WorkModel::Uniform;
+  double mean_work = 8.0;
+  double pareto_alpha = 1.8;  ///< tail index, > 1 so the mean exists
+  double work_cap = 256.0;    ///< cap on the Pareto multiplier
+
+  /// Priority-class mix: share per class, class index == priority
+  /// (normalized internally; at most kMaxPriority + 1 classes). Empty
+  /// = everything class 0.
+  std::vector<double> class_shares;
+};
+
+/// Deterministic fleet-shaped arrival stream over `n_types` workload
+/// types: same (n_types, options) => identical trace. Arrivals are
+/// sorted, ids are dense trace order, work is positive.
+std::vector<JobSpec> fleet_trace(std::size_t n_types,
+                                 const FleetTraceOptions& opt);
+
 /// One line of the simulator's audit log.
 struct TraceEvent {
   enum class Kind { Arrive, Place, Finish };
   Kind kind = Kind::Arrive;
   double time = 0.0;
-  std::size_t job = 0;
+  std::size_t job = 0;  ///< JobSpec::id -- the same identity in all 3 kinds
   std::size_t type = 0;
   std::size_t machine = 0;  ///< Place/Finish only
   /// Place: the policy's predicted cost delta for the chosen machine;

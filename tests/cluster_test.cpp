@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "cluster/cluster.hpp"
+#include "cluster_fixtures.hpp"
 #include "harness/grouptruth.hpp"
 #include "harness/matrix.hpp"
 #include "harness/scheduler.hpp"
@@ -15,56 +16,6 @@
 
 namespace coperf::cluster {
 namespace {
-
-/// Hand-built 4-type truth: a bandwidth hog, a victim that suffers
-/// badly next to it, and two near-neutral types.
-harness::CorunMatrix synthetic_truth() {
-  harness::CorunMatrix m;
-  m.workloads = {"hog", "victim", "neutral", "medium"};
-  m.solo_cycles = {1'000'000, 1'000'000, 1'000'000, 1'000'000};
-  m.normalized = {
-      {1.60, 1.10, 1.05, 1.20},   // hog | {hog victim neutral medium}
-      {2.20, 1.05, 1.02, 1.40},   // victim
-      {1.05, 1.01, 1.00, 1.02},   // neutral
-      {1.50, 1.10, 1.03, 1.25},   // medium
-  };
-  return m;
-}
-
-/// Synthetic signatures matching synthetic_truth's axis, good enough
-/// for the trainable models to fit against.
-std::vector<predict::WorkloadSignature> synthetic_sigs() {
-  const auto make = [](const std::string& name, double bw, double pcp,
-                       double llc_mpki) {
-    predict::WorkloadSignature s;
-    s.workload = name;
-    s.threads = 4;
-    s.bw_fraction = bw;
-    s.solo_bw_gbs = bw * 28.0;
-    s.l2_pcp = pcp;
-    s.mem_stall_frac = pcp * 0.9;
-    s.llc_mpki = llc_mpki;
-    s.l2_mpki = llc_mpki * 1.5;
-    s.cpi = 1.0 + pcp;
-    s.ipc = 1.0 / s.cpi;
-    s.ll = 100.0;
-    s.footprint_vs_llc = bw * 2.0;
-    s.prefetch_share = 0.5;
-    s.solo_cycles = 1'000'000;
-    s.solo_seconds = 3.7e-4;
-    return s;
-  };
-  return {make("hog", 0.9, 0.5, 30.0), make("victim", 0.3, 0.8, 5.0),
-          make("neutral", 0.05, 0.05, 0.1), make("medium", 0.5, 0.4, 10.0)};
-}
-
-std::unique_ptr<predict::LeastSquaresModel> distilled_model(
-    const harness::CorunMatrix& from,
-    const std::vector<predict::WorkloadSignature>& sigs) {
-  auto model = std::make_unique<predict::LeastSquaresModel>();
-  model->train(predict::training_pairs(from, sigs));
-  return model;
-}
 
 TEST(Trace, SyntheticTraceIsDeterministic) {
   TraceOptions opt;
@@ -205,43 +156,8 @@ TEST(Cluster, SimulateValidatesItsInput) {
       std::invalid_argument);
 }
 
-// Non-additive group-truth fixture: the pairwise matrix says the
-// victim barely suffers next to one hog (1.1x), but a SECOND hog
-// pushes it past a regime change to 4.0x -- a slowdown no additive
-// composition of pair entries (1 + 2*0.1 = 1.2) predicts. Modeled on
-// the paper's observation that co-location effects stack
-// super-linearly once the LLC/channel saturates.
-class RegimeChangeTruth final : public harness::InterferenceTruth {
- public:
-  RegimeChangeTruth() : matrix_(regime_matrix()) {}
-
-  static harness::CorunMatrix regime_matrix() {
-    harness::CorunMatrix m;
-    m.workloads = {"hog", "victim", "medium"};
-    m.solo_cycles = {1'000'000, 1'000'000, 1'000'000};
-    m.normalized = {
-        {1.20, 1.05, 1.10},  // hog    | {hog victim medium}
-        {1.10, 1.02, 1.40},  // victim
-        {1.30, 1.05, 1.15},  // medium
-    };
-    return m;
-  }
-
-  std::size_t size() const override { return matrix_.size(); }
-  const harness::CorunMatrix& pairwise() override { return matrix_; }
-
-  double slowdown(std::size_t type,
-                  const std::vector<std::size_t>& others) override {
-    std::size_t hogs = 0;
-    for (const std::size_t o : others) hogs += o == 0 ? 1 : 0;
-    if (type == 1 && hogs >= 2) return 4.0;  // the regime change
-    if (others.size() >= 2) ++fallbacks_;
-    return harness::corun_slowdown(matrix_, type, others);
-  }
-
- private:
-  harness::CorunMatrix matrix_;
-};
+// (RegimeChangeTruth -- the non-additive group-truth fixture -- lives
+// in cluster_fixtures.hpp, shared with the fleet equivalence suite.)
 
 // The refactor guard: simulate() on a MatrixTruth must reproduce the
 // legacy matrix-driven simulator byte for byte -- same audit log, same
@@ -490,6 +406,52 @@ TEST(ClusterIntegration, OnlineRefinedBeatsStaticOnTinyGroundTruth) {
       << "an informed policy must not lose to random placement";
   EXPECT_GE(online_total, 0.0);
   EXPECT_GE(static_total, 0.0);
+}
+
+// Equivalence on measured ground truth at 4x3: the indexed fleet
+// engine must reproduce the reference loop byte for byte on a truth
+// matrix built from real Tiny workload runs, not just on the
+// hand-built synthetic fixtures.
+TEST(ClusterIntegration, FleetEngineMatchesReferenceOnTinyTruth) {
+  const std::vector<std::string> subset = {"Stream", "Bandit", "G-PR",
+                                           "CIFAR"};
+  harness::MatrixOptions mo;
+  mo.run.machine = sim::MachineConfig::scaled();
+  mo.run.size = wl::SizeClass::Tiny;
+  mo.run.threads = 4;
+  mo.reps = 1;
+  mo.subset = subset;
+  const auto sigs = predict::collect_signatures(subset, mo.run, /*reps=*/1);
+  for (const auto& s : sigs) mo.solo_cycles.push_back(s.solo_cycles);
+  const harness::CorunMatrix truth = harness::corun_matrix(mo);
+
+  const ClusterConfig cfg{4, 3};
+  TraceOptions topt;
+  topt.jobs = 400;
+  topt.seed = 19;
+  topt.mean_interarrival =
+      topt.mean_work / (0.8 * static_cast<double>(cfg.machines * cfg.slots));
+  const auto trace = synthetic_trace(subset.size(), topt);
+
+  for (int which = 0; which < 2; ++which) {
+    const auto make_run = [&](auto&& run) {
+      if (which == 0) {
+        CostModelPolicy p{"oracle", truth};
+        return run(p);
+      }
+      RandomPolicy p{3};
+      return run(p);
+    };
+    const ClusterResult ref = make_run([&](PlacementPolicy& p) {
+      return simulate_reference(cfg, truth, trace, p);
+    });
+    const ClusterResult fleet = make_run(
+        [&](PlacementPolicy& p) { return simulate(cfg, truth, trace, p); });
+    EXPECT_EQ(ref.log.str(truth.workloads), fleet.log.str(truth.workloads))
+        << "policy family " << which << " diverged on the Tiny truth";
+    EXPECT_NEAR(ref.mean_decision_regret, fleet.mean_decision_regret, 1e-9);
+    EXPECT_NEAR(ref.mean_stretch, fleet.mean_stretch, 1e-9);
+  }
 }
 
 }  // namespace
