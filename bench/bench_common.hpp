@@ -17,7 +17,10 @@
 //                 or FILE when given)
 //
 // Malformed flag values (--reps=abc, --threads=) are rejected with a
-// clear diagnostic and exit code 2 instead of an uncaught exception.
+// clear diagnostic and exit code 2 instead of an uncaught exception,
+// and --trace=/--metrics= paths that cannot be opened for writing fail
+// the same way up front instead of silently dropping the output at
+// exit.
 #pragma once
 
 #include <unistd.h>
@@ -151,8 +154,24 @@ inline void obs_flush_at_exit() {
       std::ofstream out{path};
       obs::Registry::instance().snapshot_json(out);
       out << "\n";
-      std::cerr << "metrics snapshot written to " << path << "\n";
+      if (out)
+        std::cerr << "metrics snapshot written to " << path << "\n";
+      else
+        std::cerr << "ERROR: metrics snapshot write to " << path
+                  << " failed\n";
     }
+  }
+}
+
+/// Fails fast (exit 2) when an observability output path cannot be
+/// opened for writing, instead of silently dropping the trace/metrics
+/// at exit. Probes in append mode so an existing file's contents are
+/// left alone; the real writer truncates later.
+inline void require_writable(const char* flag, const std::string& path) {
+  std::ofstream probe{path, std::ios::app};
+  if (!probe) {
+    std::cerr << flag << "=" << path << ": cannot open for writing\n";
+    std::exit(2);
   }
 }
 
@@ -211,11 +230,14 @@ inline BenchArgs parse_args(int argc, char** argv,
         std::cerr << "--trace= needs an output file path\n";
         std::exit(2);
       }
+      detail::require_writable("--trace", a.trace_path);
       detail::arm_obs_flush();
       obs::Trace::instance().start(a.trace_path);
     } else if (arg == "--metrics" || arg.rfind("--metrics=", 0) == 0) {
       a.metrics = true;
       if (arg.size() > 9) a.metrics_path = arg.substr(10);
+      if (!a.metrics_path.empty())
+        detail::require_writable("--metrics", a.metrics_path);
       detail::metrics_wanted() = true;
       detail::metrics_sink() = a.metrics_path;
       detail::arm_obs_flush();

@@ -20,11 +20,17 @@
 //                     (default 1000; 0 = never)
 //   --arrivals=M      poisson | diurnal | bursty   (default bursty)
 //   --work=M          uniform | pareto             (default pareto)
+//   --faults          append the graceful-degradation ladder: overload
+//                     (~135% of slot capacity) plus machine churn, a
+//                     no-shed baseline vs admission control + preemptive
+//                     migration, compared on per-class goodput and
+//                     regret (quick = first rung only)
 //   --trace=FILE      Chrome trace of the run (machine lanes are
 //                     emitted per simulated machine: use small rungs)
 //
 // --json appends machine-readable output and persists it as
-// BENCH_fleet_throughput.json at the repo root (the perf-CI snapshot).
+// BENCH_fleet_throughput.json at the repo root (the perf-CI snapshot),
+// including the fault ladder's per-class breakdown when --faults is on.
 #include <chrono>
 #include <iostream>
 #include <sstream>
@@ -70,9 +76,14 @@ int main(int argc, char** argv) try {
   using Clock = std::chrono::steady_clock;
 
   unsigned machines = 0, jobs = 0, slots = 2, regret_sample = 1000;
+  bool faults = false;
   cluster::ArrivalModel arrivals = cluster::ArrivalModel::Bursty;
   cluster::WorkModel work = cluster::WorkModel::Pareto;
   const auto extra = [&](const std::string& arg) {
+    if (arg == "--faults") {
+      faults = true;
+      return true;
+    }
     if (arg.rfind("--machines=", 0) == 0) {
       machines = bench::parse_unsigned("--machines", arg.substr(11));
       return true;
@@ -115,7 +126,7 @@ int main(int argc, char** argv) try {
   const auto args = bench::parse_args(
       argc, argv, /*subset_supported=*/false, extra,
       "--machines=N --jobs=N --slots=N --regret-sample=N "
-      "--arrivals=poisson|diurnal|bursty --work=uniform|pareto");
+      "--arrivals=poisson|diurnal|bursty --work=uniform|pareto --faults");
   bench::print_config(args, "fleet-scale cluster engine throughput "
                             "(decisions/sec on the indexed event loop)");
   if ((machines == 0) != (jobs == 0)) {
@@ -196,6 +207,170 @@ int main(int argc, char** argv) try {
   }
   std::cout << "\n";
 
+  // --- graceful-degradation ladder (--faults) ------------------------
+  //
+  // Overload (~135% of slot capacity) plus seed-deterministic machine
+  // churn, each rung simulated twice per policy: a no-shed baseline
+  // (faults + retries only) and a protected config (admission control
+  // sheds the best-effort class, preemptive migration clears slots for
+  // the priority lanes). The headline comparison is the top class:
+  // protection must buy it goodput and shed its queueing regret --
+  // mean (start - arrival) / work over completed jobs, the
+  // solo-normalized placement delay against the clairvoyant ideal of
+  // instant placement. (Billed decision regret collapses toward zero
+  // for everyone once overload leaves a single open machine per
+  // placement, so it cannot separate the configs; stretch folds in
+  // co-run slowdown noise from whatever neighbours the matrix deals.)
+  struct FaultRow {
+    std::string policy;
+    bool protected_ = false;
+    Rung rung{};
+    double wall_s = 0.0;
+    double makespan = 0.0;
+    std::size_t failures = 0, migrations = 0, shed_jobs = 0;
+    double shed_work = 0.0;
+    std::vector<cluster::ClassStats> classes;
+    /// Per-class mean solo-normalized placement delay (completed jobs).
+    std::vector<double> wait_regret;
+  };
+  std::vector<FaultRow> frows;
+  if (faults) {
+    std::vector<Rung> fault_ladder = {{64, 20'000},
+                                      {128, 40'000},
+                                      {256, 80'000}};
+    if (machines != 0) fault_ladder = {{machines, jobs}};
+    else if (args.quick) fault_ladder.resize(1);
+
+    std::cout << "== fault ladder: overload + machine churn ==\n";
+    for (const Rung& rung : fault_ladder) {
+      cluster::FleetTraceOptions topt;
+      topt.jobs = rung.jobs;
+      topt.seed = 1;
+      topt.arrivals = arrivals;
+      topt.work = work;
+      topt.class_shares = {0.75, 0.2, 0.05};
+      // ~135% of slot capacity: without shedding the queue only grows.
+      topt.mean_interarrival =
+          topt.mean_work /
+          (1.35 * static_cast<double>(rung.machines) * slots);
+      const auto trace = cluster::fleet_trace(truth.size(), topt);
+      const double span = trace.back().arrival;
+
+      // ~3 outages per machine over the arrival span, 5% repair time.
+      cluster::FaultScheduleOptions fopt;
+      fopt.seed = 1;
+      fopt.horizon = span;
+      fopt.mtbf = span / 3.0;
+      fopt.mttr = fopt.mtbf / 20.0;
+      const auto schedule = cluster::fault_schedule(rung.machines, fopt);
+
+      for (const bool protect : {false, true}) {
+        cluster::ClusterConfig cfg;
+        cfg.machines = rung.machines;
+        cfg.slots = slots;
+        cfg.regret_sample = 1;  // small rungs: bill every placement
+        cfg.faults = schedule;
+        if (protect) {
+          cfg.migration.preempt = true;
+          cfg.admission.queue_limit = rung.machines;
+          cfg.admission.shed_below = 1;  // only the best-effort class
+        }
+        cluster::RandomPolicy random{7};
+        cluster::CostModelPolicy oracle{"oracle", truth};
+        cluster::PlacementPolicy* fpolicies[] = {&random, &oracle};
+        for (cluster::PlacementPolicy* policy : fpolicies) {
+          const auto t0 = Clock::now();
+          const auto res = cluster::simulate(cfg, truth, trace, *policy);
+          FaultRow fr;
+          fr.policy = policy->name();
+          fr.protected_ = protect;
+          fr.rung = rung;
+          fr.wall_s =
+              std::chrono::duration<double>(Clock::now() - t0).count();
+          fr.makespan = res.makespan;
+          fr.failures = res.failures;
+          fr.migrations = res.migrations;
+          fr.shed_jobs = res.shed_jobs;
+          fr.shed_work = res.shed_work;
+          fr.classes = res.class_stats;
+          fr.wait_regret.assign(fr.classes.size(), 0.0);
+          std::vector<std::size_t> wait_n(fr.classes.size(), 0);
+          for (const cluster::JobOutcome& out : res.outcomes) {
+            if (!out.completed()) continue;
+            const unsigned c = trace[out.job].priority;
+            fr.wait_regret[c] += (out.start - out.arrival) / out.work;
+            ++wait_n[c];
+          }
+          for (std::size_t c = 0; c < fr.wait_regret.size(); ++c)
+            if (wait_n[c] != 0)
+              fr.wait_regret[c] /= static_cast<double>(wait_n[c]);
+          frows.push_back(fr);
+          const cluster::ClassStats& hp = fr.classes.back();
+          std::cout << "  " << rung.machines << " machines x " << rung.jobs
+                    << " jobs, " << fr.policy << ", "
+                    << (protect ? "protected" : "baseline ")
+                    << ": top-class goodput "
+                    << harness::Table::fmt(hp.goodput, 2) << ", stretch "
+                    << harness::Table::fmt(hp.mean_stretch, 2) << ", shed "
+                    << fr.shed_jobs << " jobs\n";
+        }
+      }
+    }
+
+    harness::Table ftable{{"machines", "jobs", "policy", "config",
+                           "failures", "migrations", "shed", "hp goodput",
+                           "hp stretch", "hp queue regret"}};
+    for (const FaultRow& fr : frows) {
+      const cluster::ClassStats& hp = fr.classes.back();
+      ftable.add_row({std::to_string(fr.rung.machines),
+                      std::to_string(fr.rung.jobs), fr.policy,
+                      fr.protected_ ? "protected" : "baseline",
+                      std::to_string(fr.failures),
+                      std::to_string(fr.migrations),
+                      std::to_string(fr.shed_jobs),
+                      harness::Table::fmt(hp.goodput, 3),
+                      harness::Table::fmt(hp.mean_stretch, 3),
+                      harness::Table::fmt(fr.wait_regret.back(), 3)});
+    }
+    std::cout << "\n";
+    ftable.print(std::cout);
+
+    // Baseline rows and protected rows alternate per policy; pair them
+    // up and report whether protection won the top class.
+    bool all_won = true;
+    for (std::size_t i = 0; i < frows.size(); ++i) {
+      const FaultRow& base = frows[i];
+      if (base.protected_) continue;
+      for (std::size_t j = i + 1; j < frows.size(); ++j) {
+        const FaultRow& prot = frows[j];
+        if (!prot.protected_ || prot.policy != base.policy ||
+            prot.rung.machines != base.rung.machines)
+          continue;
+        const cluster::ClassStats& bh = base.classes.back();
+        const cluster::ClassStats& ph = prot.classes.back();
+        const bool won = ph.goodput > bh.goodput &&
+                         prot.wait_regret.back() < base.wait_regret.back();
+        all_won = all_won && won;
+        std::cout << "  " << base.rung.machines << " machines, "
+                  << base.policy << ": protection "
+                  << (won ? "WINS" : "DOES NOT WIN")
+                  << " the top class (goodput "
+                  << harness::Table::fmt(bh.goodput, 2) << " -> "
+                  << harness::Table::fmt(ph.goodput, 2)
+                  << ", queue regret "
+                  << harness::Table::fmt(base.wait_regret.back(), 3)
+                  << " -> "
+                  << harness::Table::fmt(prot.wait_regret.back(), 3)
+                  << ")\n";
+        break;
+      }
+    }
+    std::cout << (all_won
+                      ? "  admission control + migration lifts top-class "
+                        "goodput on every rung\n\n"
+                      : "  WARNING: protection did not win every rung\n\n");
+  }
+
   harness::Table table{{"machines", "jobs", "policy", "wall s",
                         "decisions/s", "mean stretch", "regret (sampled)",
                         "billed"}};
@@ -252,7 +427,39 @@ int main(int argc, char** argv) try {
          << ", \"makespan\": " << r.makespan << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    js << "  ]\n}";
+    js << "  ]";
+    if (faults) {
+      js << ",\n  \"fault_rungs\": [\n";
+      for (std::size_t i = 0; i < frows.size(); ++i) {
+        const FaultRow& fr = frows[i];
+        js << "    {\"machines\": " << fr.rung.machines
+           << ", \"jobs\": " << fr.rung.jobs << ", \"policy\": \""
+           << fr.policy << "\", \"config\": \""
+           << (fr.protected_ ? "protected" : "baseline")
+           << "\", \"wall_s\": " << fr.wall_s
+           << ", \"makespan\": " << fr.makespan
+           << ", \"failures\": " << fr.failures
+           << ", \"migrations\": " << fr.migrations
+           << ", \"shed_jobs\": " << fr.shed_jobs
+           << ", \"shed_work\": " << fr.shed_work << ",\n"
+           << "     \"classes\": [";
+        for (std::size_t c = 0; c < fr.classes.size(); ++c) {
+          const cluster::ClassStats& cs = fr.classes[c];
+          js << (c == 0 ? "" : ", ")
+             << "{\"class\": " << c << ", \"jobs\": " << cs.jobs
+             << ", \"completed\": " << cs.completed
+             << ", \"shed\": " << cs.shed
+             << ", \"goodput\": " << cs.goodput
+             << ", \"mean_stretch\": " << cs.mean_stretch
+             << ", \"queueing_regret\": " << fr.wait_regret[c]
+             << ", \"decision_regret\": " << cs.mean_regret
+             << ", \"billed\": " << cs.billed << "}";
+        }
+        js << "]}" << (i + 1 < frows.size() ? "," : "") << "\n";
+      }
+      js << "  ]";
+    }
+    js << "\n}";
     std::cout << "\n" << js.str() << "\n";
     bench::write_snapshot("fleet_throughput", js.str());
   }

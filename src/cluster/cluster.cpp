@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <limits>
@@ -21,7 +22,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kTraceUsPerUnit = 1000.0;
 
 void validate(const ClusterConfig& cfg, const harness::InterferenceTruth& truth,
-              const std::vector<JobSpec>& trace, bool allow_priorities) {
+              const std::vector<JobSpec>& trace, bool fleet_engine) {
   if (cfg.machines == 0)
     throw std::invalid_argument{"simulate: need at least one machine"};
   if (cfg.slots < 2)
@@ -38,11 +39,42 @@ void validate(const ClusterConfig& cfg, const harness::InterferenceTruth& truth,
       throw std::invalid_argument{"simulate: arrivals must be sorted"};
     if (j.priority > kMaxPriority)
       throw std::invalid_argument{"simulate: job priority above kMaxPriority"};
-    if (!allow_priorities && j.priority != 0)
+    if (!fleet_engine && j.priority != 0)
       throw std::invalid_argument{
           "simulate_reference: the reference loop is priority-blind"};
     prev = j.arrival;
   }
+  if (!fleet_engine) {
+    if (!cfg.faults.empty() || cfg.migration.preempt || cfg.admission.enabled())
+      throw std::invalid_argument{
+          "simulate_reference: the reference loop is fault-blind (no fault "
+          "schedule, migration, or admission control)"};
+    return;
+  }
+  double prev_fault = 0.0;
+  std::vector<char> down(cfg.machines, 0);
+  for (const FaultEvent& f : cfg.faults) {
+    if (f.machine >= cfg.machines)
+      throw std::invalid_argument{"simulate: fault event machine out of range"};
+    if (f.time < prev_fault)
+      throw std::invalid_argument{"simulate: fault events must be sorted"};
+    const bool is_down = f.kind == FaultEvent::Kind::Down;
+    if (is_down == static_cast<bool>(down[f.machine]))
+      throw std::invalid_argument{
+          "simulate: fault events must alternate Down/Up per machine"};
+    down[f.machine] = is_down ? 1 : 0;
+    prev_fault = f.time;
+  }
+  if (cfg.retry.backoff < 0.0 || cfg.retry.backoff_factor < 1.0)
+    throw std::invalid_argument{
+        "simulate: retry backoff must be >= 0 with factor >= 1"};
+  if (cfg.retry.checkpoint < 0.0 || cfg.retry.checkpoint > 1.0)
+    throw std::invalid_argument{"simulate: retry checkpoint must be in [0, 1]"};
+  if (cfg.admission.util_limit < 0.0 || cfg.admission.util_limit > 1.0)
+    throw std::invalid_argument{
+        "simulate: admission util_limit must be in [0, 1]"};
+  if (cfg.admission.defer_delay < 0.0)
+    throw std::invalid_argument{"simulate: admission defer_delay must be >= 0"};
 }
 
 // --- indexed fleet engine -------------------------------------------
@@ -192,18 +224,35 @@ struct HeapLater {
   }
 };
 
+/// A killed or deferred job waiting out its simulated-time delay before
+/// re-entering the waiting lanes. Min-heap by (ready, jid) so
+/// same-instant requeues drain in trace order.
+struct Requeue {
+  double ready = 0.0;
+  std::size_t jid = 0;
+  bool deferred = false;  ///< re-check admission control on re-entry
+};
+struct RequeueLater {
+  bool operator()(const Requeue& a, const Requeue& b) const {
+    if (a.ready != b.ready) return a.ready > b.ready;
+    return a.jid > b.jid;
+  }
+};
+
 }  // namespace
 
 ClusterResult simulate(const ClusterConfig& cfg,
                        harness::InterferenceTruth& truth,
                        const std::vector<JobSpec>& trace,
                        PlacementPolicy& policy) {
-  validate(cfg, truth, trace, /*allow_priorities=*/true);
+  validate(cfg, truth, trace, /*fleet_engine=*/true);
   const std::uint64_t fallbacks_before = truth.fallbacks();
 
   std::vector<MachineState> machines(cfg.machines);
   OpenSet open(cfg.machines);
   for (std::size_t m = 0; m < cfg.machines; ++m) open.set(m);
+  std::vector<char> alive(cfg.machines, 1);
+  std::size_t alive_machines = cfg.machines;
 
   unsigned max_priority = 0;
   for (const JobSpec& j : trace) max_priority = std::max(max_priority, j.priority);
@@ -212,13 +261,21 @@ ClusterResult simulate(const ClusterConfig& cfg,
 
   ClusterResult res;
   res.outcomes.resize(trace.size());
+  // Solo work a job still owes at its next placement: its full demand
+  // until a failure kill or eviction applies the work-loss model.
+  std::vector<double> pending(trace.size(), 0.0);
+  std::vector<char> placed(trace.size(), 0);  // first placement recorded
+  std::vector<double> class_regret(max_priority + 1, 0.0);
+  std::vector<std::size_t> class_billed(max_priority + 1, 0);
   double t = 0.0;
   std::uint64_t stamp = 1;
   std::size_t next_arrival = 0;
   std::size_t running_count = 0;
   std::size_t decisions = 0;
+  std::size_t next_fault = 0;
 
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLater> heap;
+  std::priority_queue<Requeue, std::vector<Requeue>, RequeueLater> requeue;
   EngineView cview{machines, open, cfg.slots, t, stamp};
 
   // Observability: a simulated-time timeline (own trace process per
@@ -231,6 +288,12 @@ ClusterResult simulate(const ClusterConfig& cfg,
   obs::Registry& reg = obs::Registry::instance();
   obs::Counter& placements_ctr = reg.counter("cluster.placements");
   obs::Counter& completions_ctr = reg.counter("cluster.completions");
+  obs::Counter& failures_ctr = reg.counter("cluster.failures");
+  obs::Counter& recoveries_ctr = reg.counter("cluster.recoveries");
+  obs::Counter& fault_kills_ctr = reg.counter("cluster.fault_kills");
+  obs::Counter& retries_ctr = reg.counter("cluster.retries");
+  obs::Counter& migrations_ctr = reg.counter("cluster.migrations");
+  obs::Counter& shed_ctr = reg.counter("cluster.shed");
   if (traced) {
     tr.name_process(trace_pid, "cluster " + policy.name() + " (" +
                                    std::to_string(cfg.machines) + "x" +
@@ -248,6 +311,8 @@ ClusterResult simulate(const ClusterConfig& cfg,
   };
   // Start of the current constant-resident-set interval, per machine.
   std::vector<double> lane_since(traced ? cfg.machines : 0, 0.0);
+  // When the machine's current outage began (traced runs only).
+  std::vector<double> down_since(traced ? cfg.machines : 0, 0.0);
   // Closes machine m's resident-set span at the current time `t`; call
   // BEFORE mutating its residents.
   const auto close_lane = [&](std::size_t m) {
@@ -312,8 +377,153 @@ ClusterResult simulate(const ClusterConfig& cfg,
     if (!ms.residents.empty()) heap.push({ms.next_eta, m, ms.version});
   };
 
+  // --- graceful-degradation helpers (inert on a fault-free run) -------
+
+  // Admission-control overload predicate: queue depth at the limit, or
+  // busy share of the *alive* slot pool at the utilization limit. An
+  // all-down fleet counts as overloaded.
+  const auto overloaded = [&] {
+    const AdmissionConfig& adm = cfg.admission;
+    if (adm.queue_limit > 0 && waiting_count >= adm.queue_limit) return true;
+    if (adm.util_limit > 0.0) {
+      const double cap =
+          static_cast<double>(alive_machines * cfg.slots);
+      if (cap <= 0.0) return true;
+      if (static_cast<double>(running_count) >= adm.util_limit * cap)
+        return true;
+    }
+    return false;
+  };
+
+  // Drops a job for good: its outstanding solo work is the admission
+  // delta of never running it, billed into shed_work / class stats.
+  const auto shed_job = [&](std::size_t jid) {
+    JobOutcome& out = res.outcomes[jid];
+    out.shed = true;
+    ++res.shed_jobs;
+    res.shed_work += pending[jid];
+    shed_ctr.add();
+    res.log.events.push_back({TraceEvent::Kind::Shed, t, trace[jid].id,
+                              trace[jid].type, 0, pending[jid]});
+  };
+
+  // Queues a job into its priority lane, re-checking admission control
+  // when asked (fresh arrivals and deferred re-entries; failure retries
+  // were already admitted and skip the check).
+  const auto admit = [&](std::size_t jid, bool check_admission) {
+    const JobSpec& job = trace[jid];
+    JobOutcome& out = res.outcomes[jid];
+    if (check_admission && cfg.admission.enabled() &&
+        job.priority < cfg.admission.shed_below && overloaded()) {
+      if (cfg.admission.defer_delay > 0.0 &&
+          out.defers < cfg.admission.max_defers) {
+        ++out.defers;
+        const double until = t + cfg.admission.defer_delay;
+        res.log.events.push_back(
+            {TraceEvent::Kind::Defer, t, job.id, job.type, 0, until});
+        requeue.push({until, jid, /*deferred=*/true});
+      } else {
+        shed_job(jid);
+      }
+      return;
+    }
+    waiting[job.priority].push_back(jid);
+    ++waiting_count;
+    emit_queue_depth();
+  };
+
+  // Applies the work-loss model to a resident killed at time `t` with
+  // `remaining` solo work left in its current attempt (materialized),
+  // then requeues it with exponential backoff -- or sheds it once its
+  // retry budget is spent.
+  const auto kill_resident = [&](std::size_t jid, double remaining,
+                                 std::size_t m) {
+    const double executed = pending[jid] - remaining;
+    pending[jid] =
+        std::max(0.0, pending[jid] - cfg.retry.checkpoint * executed);
+    JobOutcome& out = res.outcomes[jid];
+    ++res.fault_kills;
+    fault_kills_ctr.add();
+    if (out.retries >= cfg.retry.max_retries) {
+      shed_job(jid);
+      return;
+    }
+    ++out.retries;
+    retries_ctr.add();
+    const double delay =
+        cfg.retry.backoff *
+        std::pow(cfg.retry.backoff_factor,
+                 static_cast<double>(out.retries - 1));
+    res.log.events.push_back({TraceEvent::Kind::Evict, t, trace[jid].id,
+                              trace[jid].type, m, pending[jid]});
+    requeue.push({t + delay, jid, /*deferred=*/false});
+  };
+
   const auto drain_waiting = [&] {
-    while (waiting_count > 0 && open.count() > 0) {
+    while (waiting_count > 0) {
+      if (open.count() == 0) {
+        // Preemptive migration: let the highest waiting class claim a
+        // slot from a strictly lower-priority resident (lowest class
+        // first; ties to the lowest machine then slot). The victim
+        // pays the work-loss restart penalty and requeues immediately
+        // at the back of its own lane -- no backoff, it did nothing
+        // wrong. Progress is guaranteed: every eviction is followed by
+        // a strictly higher-priority placement.
+        if (!cfg.migration.preempt) break;
+        std::size_t top = 0;
+        for (std::size_t c = waiting.size(); c-- > 0;) {
+          if (!waiting[c].empty()) {
+            top = c;
+            break;
+          }
+        }
+        std::size_t vm = cfg.machines, vs = 0;
+        unsigned vprio = 0;
+        for (std::size_t m = 0; m < cfg.machines; ++m) {
+          for (std::size_t s = 0; s < machines[m].residents.size(); ++s) {
+            const unsigned p = trace[machines[m].residents[s].job].priority;
+            if (p >= top) continue;
+            if (vm == cfg.machines || p < vprio) {
+              vm = m;
+              vs = s;
+              vprio = p;
+            }
+          }
+        }
+        if (vm == cfg.machines) break;  // nothing strictly lower to evict
+        MachineState& vms = machines[vm];
+        const std::size_t vjid = vms.residents[vs].job;
+        close_lane(vm);  // the resident set is about to change
+        materialize(vms);
+        const double vleft = vms.residents[vs].remaining;
+        const double vexecuted = pending[vjid] - vleft;
+        pending[vjid] = std::max(
+            0.0, pending[vjid] - cfg.retry.checkpoint * vexecuted);
+        vms.residents.erase(vms.residents.begin() +
+                            static_cast<std::ptrdiff_t>(vs));
+        open.set(vm);
+        reindex(vm);
+        --running_count;
+        ++stamp;
+        ++res.migrations;
+        migrations_ctr.add();
+        ++res.outcomes[vjid].evictions;
+        res.log.events.push_back({TraceEvent::Kind::Evict, t, trace[vjid].id,
+                                  trace[vjid].type, vm, pending[vjid]});
+        if (traced)
+          tr.instant_at(trace_pid, static_cast<int>(vm),
+                        "evict " + type_label(trace[vjid].type),
+                        t * kTraceUsPerUnit,
+                        obs::Args{}
+                            .set("job", trace[vjid].id)
+                            .set("for_class", top)
+                            .set("work_left", pending[vjid])
+                            .str());
+        waiting[vprio].push_back(vjid);
+        ++waiting_count;
+        emit_queue_depth();
+        continue;
+      }
       std::size_t jid = 0;
       for (std::size_t c = waiting.size(); c-- > 0;) {
         if (!waiting[c].empty()) {
@@ -323,7 +533,10 @@ ClusterResult simulate(const ClusterConfig& cfg,
           break;
         }
       }
-      const JobSpec& job = trace[jid];
+      // The job demands only its outstanding work: identical to the
+      // original spec until a kill or eviction shrinks it.
+      JobSpec job = trace[jid];
+      job.work = pending[jid];
       const std::size_t m = policy.place(job, cview);
       if (m >= cfg.machines || machines[m].residents.size() >= cfg.slots)
         throw std::logic_error{"simulate: policy chose a full machine"};
@@ -343,6 +556,8 @@ ClusterResult simulate(const ClusterConfig& cfg,
         }
         res.mean_decision_regret += chosen - best;
         ++res.billed_decisions;
+        class_regret[job.priority] += chosen - best;
+        ++class_billed[job.priority];
       }
       placements_ctr.add();
       if (traced) {
@@ -387,12 +602,11 @@ ClusterResult simulate(const ClusterConfig& cfg,
       ++running_count;
       ++stamp;
       JobOutcome& out = res.outcomes[jid];
-      out.job = job.id;
-      out.type = job.type;
       out.machine = m;
-      out.arrival = job.arrival;
-      out.start = t;
-      out.work = job.work;
+      if (!placed[jid]) {
+        placed[jid] = 1;
+        out.start = t;
+      }
       res.log.events.push_back({TraceEvent::Kind::Place, t, job.id, job.type,
                                 m, policy.last_cost_delta()});
       emit_queue_depth();
@@ -400,7 +614,7 @@ ClusterResult simulate(const ClusterConfig& cfg,
   };
 
   while (next_arrival < trace.size() || running_count > 0 ||
-         waiting_count > 0) {
+         waiting_count > 0 || !requeue.empty()) {
     // Earliest completion from the heap (stale entries dropped);
     // ties resolve to the lowest machine then slot, deterministically.
     double t_done = kInf;
@@ -417,12 +631,18 @@ ClusterResult simulate(const ClusterConfig& cfg,
     }
     const double t_arr =
         next_arrival < trace.size() ? trace[next_arrival].arrival : kInf;
-    if (t_done == kInf && t_arr == kInf)
+    const double t_fault =
+        next_fault < cfg.faults.size() ? cfg.faults[next_fault].time : kInf;
+    const double t_req = requeue.empty() ? kInf : requeue.top().ready;
+    if (t_done == kInf && t_arr == kInf && t_fault == kInf && t_req == kInf)
       throw std::logic_error{"simulate: stuck with waiting jobs"};
 
     // Completions first on ties: a freed slot should serve a job
-    // arriving at the same instant.
-    if (t_done <= t_arr) {
+    // arriving at the same instant, and a job finishing as its machine
+    // dies finished. Then faults (a same-instant recovery frees slots
+    // before requeues and arrivals queue), then requeues before
+    // arrivals (an old job re-enters its lane ahead of a newcomer).
+    if (t_done <= t_arr && t_done <= t_fault && t_done <= t_req) {
       heap.pop();
       t = t_done;
       ++stamp;
@@ -441,28 +661,100 @@ ClusterResult simulate(const ClusterConfig& cfg,
       out.finish = t;
       res.log.events.push_back({TraceEvent::Kind::Finish, t, trace[jid].id,
                                 out.type, done_m, out.corun_slowdown()});
+    } else if (t_fault <= t_arr && t_fault <= t_req) {
+      const FaultEvent& f = cfg.faults[next_fault];
+      ++next_fault;
+      t = f.time;
+      ++stamp;
+      if (f.kind == FaultEvent::Kind::Down) {
+        MachineState& ms = machines[f.machine];
+        close_lane(f.machine);  // the resident set is about to change
+        materialize(ms);
+        ++res.failures;
+        failures_ctr.add();
+        res.log.events.push_back(
+            {TraceEvent::Kind::Fail, t, 0, 0, f.machine, 0.0});
+        for (const Resident& r : ms.residents)
+          kill_resident(r.job, r.remaining, f.machine);
+        running_count -= ms.residents.size();
+        ms.residents.clear();
+        open.clear(f.machine);
+        alive[f.machine] = 0;
+        --alive_machines;
+        reindex(f.machine);  // empty: just invalidates stale heap entries
+        if (traced) down_since[f.machine] = t;
+      } else {
+        ++res.recoveries;
+        recoveries_ctr.add();
+        res.log.events.push_back(
+            {TraceEvent::Kind::Recover, t, 0, 0, f.machine, 0.0});
+        alive[f.machine] = 1;
+        ++alive_machines;
+        open.set(f.machine);
+        if (traced) {
+          tr.complete(trace_pid, static_cast<int>(f.machine), "DOWN",
+                      down_since[f.machine] * kTraceUsPerUnit,
+                      (t - down_since[f.machine]) * kTraceUsPerUnit,
+                      obs::Args{}.set("machine", f.machine).str());
+          lane_since[f.machine] = t;
+        }
+      }
+    } else if (t_req <= t_arr) {
+      const Requeue rq = requeue.top();
+      requeue.pop();
+      t = rq.ready;
+      ++stamp;
+      admit(rq.jid, /*check_admission=*/rq.deferred);
     } else {
       const JobSpec& job = trace[next_arrival];
       t = t_arr;
       ++stamp;
       res.log.events.push_back(
           {TraceEvent::Kind::Arrive, t, job.id, job.type, 0, 0.0});
-      waiting[job.priority].push_back(next_arrival);
-      ++waiting_count;
+      JobOutcome& out = res.outcomes[next_arrival];
+      out.job = job.id;
+      out.type = job.type;
+      out.arrival = job.arrival;
+      out.work = job.work;
+      pending[next_arrival] = job.work;
+      admit(next_arrival, /*check_admission=*/true);
       ++next_arrival;
-      emit_queue_depth();
     }
     drain_waiting();
   }
 
+  res.class_stats.assign(max_priority + 1, ClassStats{});
   if (!res.outcomes.empty()) {
-    for (const JobOutcome& o : res.outcomes) {
-      res.mean_stretch += o.stretch();
-      res.mean_corun_slowdown += o.corun_slowdown();
-      res.makespan = std::max(res.makespan, o.finish);
+    for (std::size_t i = 0; i < res.outcomes.size(); ++i) {
+      const JobOutcome& o = res.outcomes[i];
+      ClassStats& cs = res.class_stats[trace[i].priority];
+      ++cs.jobs;
+      cs.work_arrived += o.work;
+      if (o.completed()) {
+        ++cs.completed;
+        ++res.completed_jobs;
+        cs.work_completed += o.work;
+        cs.mean_stretch += o.stretch();
+        res.mean_stretch += o.stretch();
+        res.mean_corun_slowdown += o.corun_slowdown();
+        res.makespan = std::max(res.makespan, o.finish);
+      }
+      if (o.shed) ++cs.shed;
     }
-    res.mean_stretch /= static_cast<double>(res.outcomes.size());
-    res.mean_corun_slowdown /= static_cast<double>(res.outcomes.size());
+    if (res.completed_jobs > 0) {
+      res.mean_stretch /= static_cast<double>(res.completed_jobs);
+      res.mean_corun_slowdown /= static_cast<double>(res.completed_jobs);
+    }
+    for (unsigned c = 0; c <= max_priority; ++c) {
+      ClassStats& cs = res.class_stats[c];
+      if (cs.completed > 0)
+        cs.mean_stretch /= static_cast<double>(cs.completed);
+      if (res.makespan > 0.0) cs.goodput = cs.work_completed / res.makespan;
+      cs.billed = class_billed[c];
+      if (cs.billed > 0)
+        cs.mean_regret = class_regret[c] / static_cast<double>(cs.billed);
+      reg.gauge("cluster.goodput.p" + std::to_string(c)).set(cs.goodput);
+    }
   }
   if (res.billed_decisions > 0)
     res.mean_decision_regret /= static_cast<double>(res.billed_decisions);
@@ -493,7 +785,7 @@ ClusterResult simulate_reference(const ClusterConfig& cfg,
                                  harness::InterferenceTruth& truth,
                                  const std::vector<JobSpec>& trace,
                                  PlacementPolicy& policy) {
-  validate(cfg, truth, trace, /*allow_priorities=*/false);
+  validate(cfg, truth, trace, /*fleet_engine=*/false);
   const std::uint64_t fallbacks_before = truth.fallbacks();
 
   std::vector<std::vector<Running>> machines(cfg.machines);

@@ -53,6 +53,51 @@
 
 namespace coperf::cluster {
 
+/// What happens to a job killed by a machine failure: bounded retries
+/// with exponential backoff in simulated time, and a configurable
+/// work-loss model.
+struct RetryConfig {
+  /// Failure kills a job may survive before the engine gives up and
+  /// sheds it (a Shed event with its work still outstanding).
+  unsigned max_retries = 3;
+  /// Simulated-time delay before the first requeue; doubles (times
+  /// `backoff_factor`) per consecutive kill of the same job.
+  double backoff = 1.0;
+  double backoff_factor = 2.0;
+  /// Work-loss model: the fraction of the killed attempt's executed
+  /// work that survives the kill. 0 = restart-from-zero (the whole
+  /// attempt is lost), 1 = perfect checkpointing (only in-flight time
+  /// is lost). Applies to failure kills and migration evictions alike.
+  double checkpoint = 0.0;
+};
+
+/// Policy-driven preemptive migration: when the highest waiting class
+/// would otherwise queue with no slot free, evict a strictly
+/// lower-priority resident (lowest class first -- the PR 7 priority
+/// lanes' victim ordering -- ties to the lowest machine then slot),
+/// charge it the RetryConfig work-loss model as the restart penalty,
+/// and requeue it through the normal decision path.
+struct MigrationConfig {
+  bool preempt = false;
+};
+
+/// Admission control under overload: when the waiting queue is deeper
+/// than `queue_limit` (or alive-slot utilization is at least
+/// `util_limit`), arrivals of classes below `shed_below` are shed
+/// outright -- or deferred by `defer_delay` first, up to `max_defers`
+/// times, when deferral is enabled. Shed work is billed into
+/// ClusterResult::shed_work and the per-class stats (a shed job's
+/// admission delta is the solo work it would have consumed).
+struct AdmissionConfig {
+  std::size_t queue_limit = 0;  ///< 0 = no queue-depth threshold
+  double util_limit = 0.0;      ///< busy/alive slot fraction; 0 = off
+  unsigned shed_below = 1;      ///< classes < this are sheddable
+  double defer_delay = 0.0;     ///< > 0: defer before shedding
+  unsigned max_defers = 0;      ///< defers before an overloaded shed
+
+  bool enabled() const { return queue_limit > 0 || util_limit > 0.0; }
+};
+
 struct ClusterConfig {
   std::size_t machines = 4;
   std::size_t slots = 2;  ///< co-run slots per machine, >= 2
@@ -67,22 +112,56 @@ struct ClusterConfig {
   /// over the billed decisions only, and skipped decisions issue no
   /// truth queries (so pairwise_fallbacks shrinks accordingly).
   std::size_t regret_sample = 1;
+  /// Machine failure/recovery schedule (fault_schedule(), or
+  /// hand-built: sorted by time, alternating Down/Up per machine).
+  /// Empty = no faults; the fault-free path is byte-identical to the
+  /// pre-fault engine. Fleet-engine only: simulate_reference rejects
+  /// configs that inject faults or enable migration/admission.
+  std::vector<FaultEvent> faults;
+  RetryConfig retry;
+  MigrationConfig migration;
+  AdmissionConfig admission;
 };
 
 /// What happened to one job.
 struct JobOutcome {
   std::size_t job = 0;  ///< JobSpec::id
   std::size_t type = 0;
-  std::size_t machine = 0;
+  std::size_t machine = 0;  ///< machine of the most recent placement
   double arrival = 0.0;
-  double start = 0.0;   ///< placement time (== arrival unless it queued)
-  double finish = 0.0;
-  double work = 0.0;
+  double start = 0.0;   ///< FIRST placement time (== arrival unless queued)
+  double finish = 0.0;  ///< 0 while unfinished (shed jobs never finish)
+  double work = 0.0;    ///< the original solo-work demand
+  unsigned retries = 0;    ///< times killed by a machine failure
+  unsigned evictions = 0;  ///< times preemptively migrated
+  unsigned defers = 0;     ///< times deferred by admission control
+  bool shed = false;       ///< dropped (admission, or retries exhausted)
 
-  /// Solo-normalized turnaround including queueing: >= 1.0.
+  bool completed() const { return finish > 0.0; }
+  /// Solo-normalized turnaround including queueing, backoff, and lost
+  /// work: >= 1.0 for completed jobs.
   double stretch() const { return (finish - arrival) / work; }
-  /// Solo-normalized run time on the machine (pure co-run slowdown).
+  /// Solo-normalized time from first placement to completion: >= 1.0
+  /// for completed jobs (equals the pure co-run slowdown when the job
+  /// was never killed or migrated).
   double corun_slowdown() const { return (finish - start) / work; }
+};
+
+/// Per-priority-class aggregate of a run -- the degradation surface
+/// the fault bench compares policies on.
+struct ClassStats {
+  std::size_t jobs = 0;       ///< arrivals in this class
+  std::size_t completed = 0;
+  std::size_t shed = 0;       ///< admission sheds + retry exhaustions
+  double work_arrived = 0.0;
+  double work_completed = 0.0;
+  /// Completed solo work per simulated-time unit, over the run's
+  /// makespan: the class goodput under churn.
+  double goodput = 0.0;
+  double mean_stretch = 0.0;  ///< over completed jobs only
+  /// Mean billed decision regret of this class's placements.
+  double mean_regret = 0.0;
+  std::size_t billed = 0;     ///< billed placements in this class
 };
 
 struct ClusterResult {
@@ -107,6 +186,20 @@ struct ClusterResult {
   /// composition instead of a measurement (resident groups above the
   /// truth's measured arity; every 3+-resident query for MatrixTruth).
   std::uint64_t pairwise_fallbacks = 0;
+
+  // --- fault-injection / graceful-degradation accounting -------------
+  // All zero on a fault-free run with admission and migration off.
+  std::size_t failures = 0;    ///< machine Down events processed
+  std::size_t recoveries = 0;  ///< machine Up events processed
+  std::size_t fault_kills = 0; ///< resident jobs killed by failures
+  std::size_t migrations = 0;  ///< preemptive evictions for priority
+  std::size_t shed_jobs = 0;   ///< admission sheds + retry exhaustions
+  double shed_work = 0.0;      ///< solo work still owed by shed jobs
+  std::size_t completed_jobs = 0;
+  /// Per-priority-class breakdown, indexed by class (size = highest
+  /// class in the trace + 1). mean_stretch / mean_corun_slowdown /
+  /// makespan above aggregate completed jobs only once any job is shed.
+  std::vector<ClassStats> class_stats;
 };
 
 /// Runs the indexed event loop: arrivals queue per priority class
@@ -114,7 +207,20 @@ struct ClusterResult {
 /// plain FIFO), a job is admitted whenever a slot is free (policy
 /// picks the machine through ClusterView), and runs to completion at a
 /// rate of 1/slowdown where the slowdown is the truth oracle's answer
-/// for the machine's current resident group. Each placement reports
+/// for the machine's current resident group.
+///
+/// Fault injection and graceful degradation (all off by default, and
+/// byte-identical to the fault-free engine when off): a FaultEvent
+/// schedule takes machines down (killing residents, which requeue
+/// through RetryConfig's bounded exponential backoff and work-loss
+/// model) and brings them back; MigrationConfig lets a waiting
+/// high-priority job preempt a strictly lower-priority resident; and
+/// AdmissionConfig sheds or defers best-effort arrivals under
+/// overload. Every such action is audited (Fail/Recover/Evict/Shed/
+/// Defer events), so fault runs replay byte-identically from the same
+/// seed. Completions beat same-instant failures (a job finishing as
+/// its machine dies finished); recoveries and requeues beat
+/// same-instant arrivals. Each placement reports
 /// the full new group outcome (per-member true slowdowns) to the
 /// policy via observe_group(); for 2-resident groups that decomposes
 /// into the legacy observe_pair() feedback.

@@ -19,6 +19,13 @@
 // prices; the legacy vector-of-views entry point is kept as a thin
 // adapter (VectorClusterView) so hand-built views in tests and the
 // reference event loop keep working unchanged.
+//
+// Fault tolerance is invisible here by design: a failed machine simply
+// leaves the open set (its slots are never offered), a recovered one
+// rejoins it, and a retried or migrated job arrives at the policy as
+// an ordinary placement decision -- so every policy is fault-capable
+// without code changes, and a fault-free run prices the exact same
+// candidate sequence as the fault-blind engine.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,6 @@
 #include "cluster/trace.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
@@ -138,6 +139,38 @@ std::vector<JobSpec> fleet_trace(std::size_t n_types,
   return trace;
 }
 
+std::vector<FaultEvent> fault_schedule(std::size_t machines,
+                                       const FaultScheduleOptions& opt) {
+  if (opt.horizon <= 0.0)
+    throw std::invalid_argument{"fault_schedule: horizon must be positive"};
+  if (opt.mtbf <= 0.0 || opt.mttr <= 0.0)
+    throw std::invalid_argument{"fault_schedule: mtbf/mttr must be positive"};
+  std::vector<FaultEvent> events;
+  for (std::size_t m = 0; m < machines; ++m) {
+    // Per-machine stream: machine m's schedule is invariant under
+    // fleet-size changes (0x9E3779B97F4A7C15 is the SplitMix64 stream
+    // spacing constant).
+    util::SplitMix64 rng{opt.seed + 0x9E3779B97F4A7C15ull * (m + 1)};
+    double t = 0.0;
+    for (;;) {
+      t += -opt.mtbf * std::log(1.0 - rng.uniform());  // up-time
+      if (t >= opt.horizon) break;
+      events.push_back({t, m, FaultEvent::Kind::Down});
+      t += -opt.mttr * std::log(1.0 - rng.uniform());  // repair time
+      events.push_back({t, m, FaultEvent::Kind::Up});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.machine != b.machine) return a.machine < b.machine;
+              // A same-instant repair sorts before the next failure.
+              return a.kind == FaultEvent::Kind::Up &&
+                     b.kind == FaultEvent::Kind::Down;
+            });
+  return events;
+}
+
 namespace {
 
 /// %.6f via snprintf: locale-independent, so log text is stable.
@@ -166,6 +199,24 @@ void TraceLog::write(std::ostream& os,
       case TraceEvent::Kind::Finish:
         os << " finish job=" << e.job << " type=" << name
            << " machine=" << e.machine << " slowdown=" << fmt6(e.value);
+        break;
+      case TraceEvent::Kind::Fail:
+        os << " fail machine=" << e.machine;
+        break;
+      case TraceEvent::Kind::Recover:
+        os << " recover machine=" << e.machine;
+        break;
+      case TraceEvent::Kind::Evict:
+        os << " evict job=" << e.job << " type=" << name
+           << " machine=" << e.machine << " work_left=" << fmt6(e.value);
+        break;
+      case TraceEvent::Kind::Shed:
+        os << " shed job=" << e.job << " type=" << name
+           << " work_left=" << fmt6(e.value);
+        break;
+      case TraceEvent::Kind::Defer:
+        os << " defer job=" << e.job << " type=" << name
+           << " until=" << fmt6(e.value);
         break;
     }
     os << '\n';

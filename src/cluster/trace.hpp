@@ -100,16 +100,49 @@ struct FleetTraceOptions {
 std::vector<JobSpec> fleet_trace(std::size_t n_types,
                                  const FleetTraceOptions& opt);
 
+/// One machine availability transition: at `time`, `machine` goes down
+/// (Down -- every resident job is killed) or comes back (Up). The
+/// fault-injection input of cluster::simulate.
+struct FaultEvent {
+  enum class Kind { Down, Up };
+  double time = 0.0;
+  std::size_t machine = 0;
+  Kind kind = Kind::Down;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+struct FaultScheduleOptions {
+  std::uint64_t seed = 1;
+  /// Failures are drawn while they land before this simulated time;
+  /// each failure's recovery is always emitted (possibly past the
+  /// horizon), so every Down has a matching Up.
+  double horizon = 1000.0;
+  double mtbf = 500.0;  ///< mean up-time between failures (exponential)
+  double mttr = 25.0;   ///< mean repair time (exponential)
+};
+
+/// Seed-deterministic per-machine failure/recovery process: alternating
+/// exponential up-times (mean `mtbf`) and repair times (mean `mttr`),
+/// merged and sorted by (time, machine). Each machine draws from its
+/// own seed stream, so machine k's schedule does not depend on how many
+/// machines the fleet has. Same (machines, options) => identical
+/// schedule.
+std::vector<FaultEvent> fault_schedule(std::size_t machines,
+                                       const FaultScheduleOptions& opt);
+
 /// One line of the simulator's audit log.
 struct TraceEvent {
-  enum class Kind { Arrive, Place, Finish };
+  enum class Kind { Arrive, Place, Finish, Fail, Recover, Evict, Shed, Defer };
   Kind kind = Kind::Arrive;
   double time = 0.0;
-  std::size_t job = 0;  ///< JobSpec::id -- the same identity in all 3 kinds
+  std::size_t job = 0;  ///< JobSpec::id -- the same identity in all kinds
   std::size_t type = 0;
-  std::size_t machine = 0;  ///< Place/Finish only
+  std::size_t machine = 0;  ///< Place/Finish/Fail/Recover/Evict only
   /// Place: the policy's predicted cost delta for the chosen machine;
-  /// Finish: the slowdown the job actually experienced.
+  /// Finish: the slowdown the job actually experienced;
+  /// Evict/Shed: the solo work the job still needed;
+  /// Defer: the time the job re-enters the waiting queue.
   double value = 0.0;
 };
 

@@ -159,7 +159,18 @@ ResultSet ExperimentPlan::execute(unsigned host_threads, Progress progress,
             if (traced) tr.counter("plan.inflight", now_in);
           }
           const double t0 = timed ? obs::wall_us() : 0.0;
-          results[i] = run_group(trials_[i].group, trials_[i].opt);
+          try {
+            results[i] = run_group(trials_[i].group, trials_[i].opt);
+          } catch (...) {
+            // Keep the in-flight accounting honest when a trial throws;
+            // the pool delivers the first error to the caller.
+            if (timed) {
+              const int now_in = inflight.fetch_sub(1) - 1;
+              inflight_gauge.set(now_in);
+              if (traced) tr.counter("plan.inflight", now_in);
+            }
+            throw;
+          }
           if (timed) {
             const double dur = obs::wall_us() - t0;
             trial_us.record(static_cast<std::uint64_t>(dur));

@@ -131,7 +131,13 @@ bool get_group(std::istream& is, GroupResult& g) {
   return true;
 }
 
-constexpr const char* kDiskHeader = "coperf-run-cache v2";
+constexpr const char* kDiskHeader = "coperf-run-cache v3";
+
+std::string checksum_line(std::string_view payload) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "sum %016" PRIx64, fnv1a(payload));
+  return buf;
+}
 
 }  // namespace
 
@@ -150,6 +156,8 @@ struct RunCache::Impl {
       obs::Registry::instance().counter("runcache.misses");
   obs::Counter& stores_ctr =
       obs::Registry::instance().counter("runcache.stores");
+  obs::Counter& corrupt_ctr =
+      obs::Registry::instance().counter("runcache.corrupt");
 
   std::filesystem::path entry_path(const std::string& dir,
                                    const std::string& key) const {
@@ -171,11 +179,46 @@ struct RunCache::Impl {
     return true;
   }
 
+  /// Moves a failed-validation entry aside (<entry>.corrupt) so the
+  /// next run is a clean miss instead of re-tripping on the same bytes,
+  /// and keeps the evidence for a postmortem.
+  void quarantine(const std::filesystem::path& path, std::uint64_t* corrupt) {
+    std::error_code ec;
+    std::filesystem::rename(path, path.string() + ".corrupt", ec);
+    if (ec) std::filesystem::remove(path, ec);
+    ++*corrupt;
+    corrupt_ctr.add();
+  }
+
   bool disk_load(const std::string& dir, const std::string& key,
-                 GroupResult* out) const {
-    std::ifstream in;
-    if (!disk_open(dir, key, in)) return false;
-    return get_group(in, *out);
+                 GroupResult* out, std::uint64_t* corrupt) {
+    if (dir.empty()) return false;
+    const auto path = entry_path(dir, key);
+    std::ifstream in{path};
+    if (!in) return false;
+    std::string line;
+    // A wrong header is corruption (or a stale format): quarantine. A
+    // wrong key is a hash collision with some OTHER valid entry --
+    // plain miss, leave it alone.
+    if (!std::getline(in, line) || line != kDiskHeader) {
+      quarantine(path, corrupt);
+      return false;
+    }
+    if (!std::getline(in, line) || line != "key " + key) return false;
+    std::string sum;
+    if (!std::getline(in, sum) || sum.rfind("sum ", 0) != 0) {
+      quarantine(path, corrupt);
+      return false;
+    }
+    std::ostringstream rest;
+    rest << in.rdbuf();
+    const std::string payload = rest.str();
+    std::istringstream body{payload};
+    if (sum != checksum_line(payload) || !get_group(body, *out)) {
+      quarantine(path, corrupt);
+      return false;
+    }
+    return true;
   }
 
   void disk_store(const std::string& dir, const std::string& key,
@@ -185,11 +228,15 @@ struct RunCache::Impl {
     std::filesystem::create_directories(dir, ec);
     const auto path = entry_path(dir, key);
     const auto tmp = path.string() + ".tmp" + std::to_string(::getpid());
+    std::ostringstream body;
+    put_group(body, v);
+    const std::string payload = body.str();
     {
       std::ofstream out{tmp};
       if (!out) return;
-      out << kDiskHeader << "\nkey " << key << '\n';
-      put_group(out, v);
+      out << kDiskHeader << "\nkey " << key << '\n'
+          << checksum_line(payload) << '\n'
+          << payload;
       if (!out) {
         std::filesystem::remove(tmp, ec);
         return;
@@ -235,7 +282,8 @@ void RunCache::clear_disk() {
   std::error_code ec;
   for (const auto& e :
        std::filesystem::directory_iterator{disk_dir_, ec}) {
-    if (e.path().extension() == ".run") std::filesystem::remove(e.path(), ec);
+    if (e.path().extension() == ".run" || e.path().extension() == ".corrupt")
+      std::filesystem::remove(e.path(), ec);
   }
 }
 
@@ -252,7 +300,7 @@ bool RunCache::lookup(const std::string& key, GroupResult* out) {
     *out = it->second;
     return true;
   }
-  if (impl_->disk_load(disk_dir_, key, out)) {
+  if (impl_->disk_load(disk_dir_, key, out, &impl_->stats.corrupt)) {
     ++impl_->stats.disk_hits;
     impl_->disk_hits_ctr.add();
     impl_->groups.emplace(key, *out);

@@ -17,6 +17,11 @@
 // or call set_disk_dir(). Entries are one text file per key under that
 // directory, named by a 64-bit FNV-1a hash with the full key stored
 // inside and verified on load, so hash collisions degrade to misses.
+// Entries are published by temp-file + atomic rename and carry a
+// payload checksum; a corrupt or truncated entry (a torn write, a
+// stray editor, an old format version) is treated as a miss and
+// quarantined aside as <entry>.corrupt (runcache.corrupt counts them)
+// instead of poisoning every later run.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +43,9 @@ class RunCache {
     std::uint64_t hits = 0;        ///< served from memory
     std::uint64_t disk_hits = 0;   ///< served from the disk layer
     std::uint64_t misses = 0;      ///< simulated for real
+    /// Disk entries that failed checksum/format validation: counted as
+    /// misses above and quarantined aside as <entry>.corrupt.
+    std::uint64_t corrupt = 0;
   };
   Stats stats() const;
   void reset_stats();

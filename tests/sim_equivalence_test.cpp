@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 #include <string>
@@ -339,6 +340,63 @@ TEST(RunCacheKey, DiskLayerRoundTripsAcrossMemoryClear) {
   cache.clear();
 }
 
+TEST(RunCacheKey, CorruptDiskEntryQuarantinesAndMisses) {
+  auto& cache = harness::RunCache::instance();
+  const auto dir =
+      std::filesystem::temp_directory_path() / "coperf_runcache_corrupt_test";
+  std::filesystem::remove_all(dir);
+  cache.set_disk_dir(dir.string());
+  cache.clear();
+  cache.reset_stats();
+  const harness::RunOptions opt = cache_test_options();
+  const harness::RunResult first = harness::run_solo("Stream", opt);
+
+  // Tear the entry the way a killed writer used to: header and key
+  // intact, payload truncated mid-stream with a stale checksum.
+  std::filesystem::path entry;
+  for (const auto& e : std::filesystem::directory_iterator{dir})
+    if (e.path().extension() == ".run") entry = e.path();
+  ASSERT_FALSE(entry.empty());
+  {
+    std::ifstream in{entry};
+    std::string header, key;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, key));
+    in.close();
+    std::ofstream out{entry, std::ios::trunc};
+    out << header << '\n'
+        << key << '\n'
+        << "sum 0000000000000000\nmembers 1\n";
+  }
+
+  cache.clear();  // memory dropped: the torn disk entry is the only copy
+  const harness::RunResult second = harness::run_solo("Stream", opt);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.corrupt, 1u) << "the torn entry must be flagged";
+  EXPECT_EQ(stats.disk_hits, 0u) << "a torn entry must never be served";
+  EXPECT_EQ(stats.misses, 2u) << "corrupt entries degrade to misses";
+  expect_identical(first, second);
+
+  bool quarantined = false, restored = false;
+  for (const auto& e : std::filesystem::directory_iterator{dir}) {
+    quarantined = quarantined || e.path().extension() == ".corrupt";
+    restored = restored || e.path().extension() == ".run";
+  }
+  EXPECT_TRUE(quarantined) << "the bad bytes must be moved aside";
+  EXPECT_TRUE(restored) << "the miss must republish a fresh entry";
+
+  // The republished entry is healthy: the third run is a disk hit.
+  cache.clear();
+  (void)harness::run_solo("Stream", opt);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+
+  cache.clear_disk();
+  std::filesystem::remove_all(dir);
+  cache.set_disk_dir("");
+  cache.clear();
+}
+
 // ---------------------------------------------------------------------
 // Persistent worker pool (fast tier).
 
@@ -355,6 +413,49 @@ TEST(ParallelPool, RunsEveryIndexOnceAndReusesWorkers) {
   EXPECT_EQ(sum.load(), 1000u * 999u / 2);
   EXPECT_EQ(harness::pool_size(), after_first)
       << "second sweep must reuse the pool, not spawn a new one";
+}
+
+TEST(ParallelPool, ThrowMidPlanPropagatesFirstErrorAndPoolSurvives) {
+  // Warm the pool so the failure exercises persistent workers.
+  harness::parallel_for(64, 4, [](std::size_t) {});
+  const unsigned workers_before = harness::pool_size();
+
+  std::atomic<std::size_t> ran{0};
+  try {
+    harness::parallel_for(5000, 4, [&](std::size_t i) {
+      ran.fetch_add(1);
+      if (i == 137) throw std::runtime_error{"trial 137 went sideways"};
+      // Slow the healthy trials slightly so the failure flag is
+      // guaranteed to land before the sweep could drain on its own.
+      for (volatile int spin = 0; spin < 64; ++spin) {
+      }
+    });
+    FAIL() << "the worker's exception must reach the caller";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "trial 137 went sideways");
+  }
+  EXPECT_LT(ran.load(), 5000u)
+      << "a failed sweep must stop claiming work, not run to completion";
+
+  // The pool must come back clean: same workers, full sweeps complete.
+  std::atomic<std::size_t> sum{0};
+  harness::parallel_for(2000, 4, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 2000u * 1999u / 2);
+  EXPECT_EQ(harness::pool_size(), workers_before)
+      << "a thrown trial must not wedge or regrow the pool";
+
+  // Same contract under the static-chunk schedule.
+  EXPECT_THROW(
+      harness::parallel_for(
+          512, 4, [](std::size_t i) {
+            if (i == 300) throw std::logic_error{"chunk failure"};
+          },
+          harness::ParallelSchedule::StaticChunk),
+      std::logic_error);
+  std::atomic<std::size_t> again{0};
+  harness::parallel_for(256, 4, [&](std::size_t) { again.fetch_add(1); },
+                        harness::ParallelSchedule::StaticChunk);
+  EXPECT_EQ(again.load(), 256u);
 }
 
 TEST(ParallelPool, StaticChunksCoverEveryIndex) {
