@@ -39,9 +39,14 @@ void validate(const ClusterConfig& cfg, const harness::InterferenceTruth& truth,
       throw std::invalid_argument{"simulate: arrivals must be sorted"};
     if (j.priority > kMaxPriority)
       throw std::invalid_argument{"simulate: job priority above kMaxPriority"};
+    if (j.slo_p99 < 0.0)
+      throw std::invalid_argument{"simulate: job slo_p99 must be >= 0"};
     if (!fleet_engine && j.priority != 0)
       throw std::invalid_argument{
           "simulate_reference: the reference loop is priority-blind"};
+    if (!fleet_engine && j.latency_critical())
+      throw std::invalid_argument{
+          "simulate_reference: the reference loop is SLO-blind"};
     prev = j.arrival;
   }
   if (!fleet_engine) {
@@ -88,6 +93,7 @@ struct Resident {
   double remaining = 0.0;
   double slowdown = 1.0;
   double eta = kInf;     ///< absolute completion estimate
+  double slo = 0.0;      ///< JobSpec::slo_p99 (0 = best-effort)
 };
 
 struct MachineState {
@@ -190,7 +196,8 @@ class EngineView final : public ClusterView {
       for (const Resident& r : s.residents)
         v.residents.push_back(
             {r.type,
-             std::max(0.0, r.remaining - (t_ - s.upd) / r.slowdown)});
+             std::max(0.0, r.remaining - (t_ - s.upd) / r.slowdown),
+             r.slo});
       view_stamp_[m] = stamp_;
     }
     return v;
@@ -261,6 +268,15 @@ ClusterResult simulate(const ClusterConfig& cfg,
 
   ClusterResult res;
   res.outcomes.resize(trace.size());
+  // Does any job carry an SLO budget? When not, the LC billing below
+  // is skipped entirely -- no tail_slowdown queries are issued, so
+  // batch-only runs are byte-identical to the pre-SLO engine.
+  bool any_lc = false;
+  for (const JobSpec& j : trace)
+    if (j.latency_critical()) {
+      any_lc = true;
+      ++res.lc_jobs;
+    }
   // Solo work a job still owes at its next placement: its full demand
   // until a failure kill or eviction applies the work-loss model.
   std::vector<double> pending(trace.size(), 0.0);
@@ -546,6 +562,7 @@ ClusterResult simulate(const ClusterConfig& cfg,
           cfg.regret_sample != 0 && decisions % cfg.regret_sample == 0;
       ++decisions;
       double chosen = 0.0, best = kInf;
+      double lc_chosen = 0.0, lc_best = kInf;
       if (billed) {
         for (std::size_t v = open.next(0); v < cfg.machines;
              v = open.next(v + 1)) {
@@ -553,11 +570,26 @@ ClusterResult simulate(const ClusterConfig& cfg,
               placement_delta(truth, job.type, job.work, cview.view(v));
           if (v == m) chosen = d;
           best = std::min(best, d);
+          // LC tail billing rides the same candidate scan: every billed
+          // decision on an SLO-carrying trace pays for the true tail
+          // violation it inflicts (a best-effort aggressor placed next
+          // to a running LC job blows that job's p99, and this is the
+          // decision that did it).
+          if (any_lc) {
+            const double lv = slo_violation(truth, job, cview.view(v));
+            if (v == m) lc_chosen = lv;
+            lc_best = std::min(lc_best, lv);
+          }
         }
         res.mean_decision_regret += chosen - best;
         ++res.billed_decisions;
         class_regret[job.priority] += chosen - best;
         ++class_billed[job.priority];
+        if (any_lc) {
+          res.mean_lc_tail_regret += lc_chosen - lc_best;
+          ++res.lc_billed_decisions;
+          if (lc_chosen > 0.0) ++res.slo_violation_decisions;
+        }
       }
       placements_ctr.add();
       if (traced) {
@@ -566,6 +598,8 @@ ClusterResult simulate(const ClusterConfig& cfg,
             .set("policy", policy.name())
             .set("predicted_cost", policy.last_cost_delta());
         if (billed) args.set("true_cost", chosen).set("regret", chosen - best);
+        if (billed && any_lc)
+          args.set("lc_regret", lc_chosen - lc_best);
         args.set("queued_for", t - job.arrival);
         tr.instant_at(trace_pid, static_cast<int>(m),
                       "place " + type_label(job.type), t * kTraceUsPerUnit,
@@ -596,7 +630,8 @@ ClusterResult simulate(const ClusterConfig& cfg,
       }
       close_lane(m);  // the resident set is about to change
       materialize(machines[m]);
-      machines[m].residents.push_back({jid, job.type, job.work, 1.0, kInf});
+      machines[m].residents.push_back(
+          {jid, job.type, job.work, 1.0, kInf, job.slo_p99});
       if (machines[m].residents.size() == cfg.slots) open.clear(m);
       reindex(m);
       ++running_count;
@@ -758,6 +793,8 @@ ClusterResult simulate(const ClusterConfig& cfg,
   }
   if (res.billed_decisions > 0)
     res.mean_decision_regret /= static_cast<double>(res.billed_decisions);
+  if (res.lc_billed_decisions > 0)
+    res.mean_lc_tail_regret /= static_cast<double>(res.lc_billed_decisions);
   res.pairwise_fallbacks = truth.fallbacks() - fallbacks_before;
   return res;
 }

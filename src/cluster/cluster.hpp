@@ -200,6 +200,25 @@ struct ClusterResult {
   /// class in the trace + 1). mean_stretch / mean_corun_slowdown /
   /// makespan above aggregate completed jobs only once any job is shed.
   std::vector<ClassStats> class_stats;
+
+  // --- SLO / tail-latency accounting ----------------------------------
+  // All zero when no job in the trace is latency-critical (every
+  // slo_p99 == 0); the billing then issues no tail_slowdown queries,
+  // so batch-only runs stay byte-identical to the pre-SLO engine.
+  /// Arrivals with an SLO budget (JobSpec::slo_p99 > 0).
+  std::size_t lc_jobs = 0;
+  /// Mean LC tail regret over billed decisions: true SLO violation
+  /// cost of the chosen machine minus the best open machine's (see
+  /// slo_violation). Billed at EVERY billed decision, not only LC
+  /// arrivals -- a best-effort aggressor placed next to a running LC
+  /// job is what blows its p99, and that decision must pay for it.
+  double mean_lc_tail_regret = 0.0;
+  /// Billed decisions on a latency-critical trace (== billed_decisions
+  /// when any job carries an SLO; 0 otherwise).
+  std::size_t lc_billed_decisions = 0;
+  /// Billed decisions whose chosen machine carried a nonzero true SLO
+  /// violation -- some latency-critical budget was blown.
+  std::size_t slo_violation_decisions = 0;
 };
 
 /// Runs the indexed event loop: arrivals queue per priority class

@@ -67,6 +67,36 @@ double placement_delta(harness::InterferenceTruth& truth, std::size_t job_type,
   return truth.admission_delta(job_type, job_work, types, remaining);
 }
 
+double slo_violation(harness::InterferenceTruth& truth, const JobSpec& job,
+                     const MachineView& machine) {
+  // Skip entirely when nothing latency-critical is involved: no tail
+  // queries, so best-effort billing is byte-identical to before.
+  bool any_lc = job.latency_critical();
+  for (const ResidentView& r : machine.residents)
+    any_lc = any_lc || r.slo_target > 0.0;
+  if (!any_lc) return 0.0;
+  static thread_local std::vector<std::size_t> others;
+  double viol = 0.0;
+  if (job.latency_critical()) {
+    others.clear();
+    for (const ResidentView& r : machine.residents) others.push_back(r.type);
+    const double tail = truth.tail_slowdown(job.type, others);
+    viol += std::max(0.0, tail - job.slo_p99) * job.work;
+  }
+  for (std::size_t i = 0; i < machine.residents.size(); ++i) {
+    const ResidentView& victim = machine.residents[i];
+    if (victim.slo_target <= 0.0) continue;
+    others.clear();
+    others.push_back(job.type);
+    for (std::size_t j = 0; j < machine.residents.size(); ++j)
+      if (j != i) others.push_back(machine.residents[j].type);
+    const double tail = truth.tail_slowdown(victim.type, others);
+    viol += std::max(0.0, tail - victim.slo_target) *
+            std::max(0.0, victim.remaining);
+  }
+  return viol;
+}
+
 GroupTruthPolicy::GroupTruthPolicy(std::string name,
                                    harness::InterferenceTruth& truth)
     : truth_(truth), name_(std::move(name)) {
@@ -115,6 +145,78 @@ std::size_t CostModelPolicy::place(const JobSpec& job,
   if (best == cluster.machines())
     throw std::logic_error{name_ + "::place: no machine has a free slot"};
   last_delta_ = best_delta;
+  return best;
+}
+
+namespace {
+
+/// Additively composed tail slowdown of `fg` against the `others` it
+/// would share a machine with -- the tail matrix's analog of
+/// harness::corun_slowdown, inlined allocation-free.
+double composed_tail(const harness::CorunMatrix& tail, std::size_t fg,
+                     const MachineView& machine, std::size_t skip,
+                     std::size_t extra_type, bool has_extra) {
+  double excess = 0.0;
+  for (std::size_t j = 0; j < machine.residents.size(); ++j)
+    if (j != skip) excess += tail.at(fg, machine.residents[j].type) - 1.0;
+  if (has_extra) excess += tail.at(fg, extra_type) - 1.0;
+  return std::max(1.0, 1.0 + excess);
+}
+
+}  // namespace
+
+SloAwarePolicy::SloAwarePolicy(std::string name,
+                               harness::CorunMatrix throughput,
+                               harness::CorunMatrix tail)
+    : throughput_(std::move(throughput)),
+      tail_(std::move(tail)),
+      name_(std::move(name)) {
+  if (throughput_.size() == 0)
+    throw std::invalid_argument{"SloAwarePolicy: empty throughput matrix"};
+  if (tail_.size() != throughput_.size())
+    throw std::invalid_argument{
+        "SloAwarePolicy: tail/throughput axis size mismatch"};
+}
+
+std::size_t SloAwarePolicy::place(const JobSpec& job,
+                                  const ClusterView& cluster) {
+  if (job.type >= throughput_.size())
+    throw std::out_of_range{"SloAwarePolicy::place: job type outside matrix"};
+  std::size_t best = cluster.machines();
+  double best_viol = std::numeric_limits<double>::infinity();
+  double best_delta = std::numeric_limits<double>::infinity();
+  const std::size_t open = cluster.open_count();
+  for (std::size_t k = 0; k < open; ++k) {
+    const std::size_t m = cluster.kth_open(k);
+    const MachineView& v = cluster.view(m);
+    // Predicted SLO violation: the arriving job's own composed tail
+    // against its budget, plus the tail the job pushes each
+    // latency-critical resident to against that resident's budget.
+    double viol = 0.0;
+    if (job.latency_critical()) {
+      const double own = composed_tail(tail_, job.type, v, v.residents.size(),
+                                       0, /*has_extra=*/false);
+      viol += std::max(0.0, own - job.slo_p99) * job.work;
+    }
+    for (std::size_t i = 0; i < v.residents.size(); ++i) {
+      const ResidentView& r = v.residents[i];
+      if (r.slo_target <= 0.0) continue;
+      const double rt =
+          composed_tail(tail_, r.type, v, i, job.type, /*has_extra=*/true);
+      viol += std::max(0.0, rt - r.slo_target) * std::max(0.0, r.remaining);
+    }
+    const double delta = placement_delta(throughput_, job.type, job.work, v);
+    if (viol < best_viol || (viol == best_viol && delta < best_delta)) {
+      best_viol = viol;
+      best_delta = delta;
+      best = m;
+    }
+  }
+  if (best == cluster.machines())
+    throw std::logic_error{name_ + "::place: no machine has a free slot"};
+  last_delta_ = best_delta;
+  last_violation_ = best_viol;
+  if (best_viol > 0.0) ++forced_;
   return best;
 }
 

@@ -46,6 +46,9 @@ namespace coperf::cluster {
 struct ResidentView {
   std::size_t type = 0;
   double remaining = 0.0;  ///< solo-time units left to execute
+  /// The resident's p99 slowdown budget; 0 = best-effort
+  /// (JobSpec::slo_p99 of the job occupying the slot).
+  double slo_target = 0.0;
 };
 
 /// A machine's state at decision time.
@@ -114,6 +117,20 @@ double placement_delta(const harness::CorunMatrix& est, std::size_t job_type,
 /// GroupTruthPolicy minimizes it directly.
 double placement_delta(harness::InterferenceTruth& truth, std::size_t job_type,
                        double job_work, const MachineView& machine);
+
+/// SLO violation cost of admitting `job` to `machine`, priced by a
+/// ground-truth oracle's tail_slowdown: for every latency-critical
+/// party in the would-be group (the arriving job if it carries a
+/// budget, plus each resident with slo_target > 0), the excess of its
+/// true p99 slowdown in the new group over its budget, weighted by the
+/// work that would run under that excess. Zero when nothing
+/// latency-critical is involved -- and the function issues no tail
+/// queries then, so batch-only billing stays byte-identical. This is
+/// the LC regret primitive: the simulator bills
+/// slo_violation(chosen) - min over open machines on every billed
+/// decision of an LC-carrying trace.
+double slo_violation(harness::InterferenceTruth& truth, const JobSpec& job,
+                     const MachineView& machine);
 
 class PlacementPolicy {
  public:
@@ -217,6 +234,46 @@ class GroupTruthPolicy final : public PlacementPolicy {
   harness::InterferenceTruth& truth_;
   std::string name_;
   double last_delta_ = 0.0;
+};
+
+/// SLO-aware marginal-cost placement: a CostModelPolicy-style greedy
+/// over a throughput estimate, extended with a pairwise *tail*
+/// estimate (additively composed over residents, like the throughput
+/// matrix). Candidates are scored lexicographically by (predicted SLO
+/// violation, predicted throughput delta, lowest index): a machine
+/// where the arriving job's predicted p99 blows its budget -- or where
+/// admitting it blows a latency-critical resident's budget -- is
+/// refused while any violation-free machine exists; among the
+/// admissible, the cheapest throughput delta wins as today. When every
+/// open machine violates some budget, the least-violating one is
+/// chosen (the job must land somewhere). Best-effort-only decisions
+/// reduce exactly to CostModelPolicy's arithmetic.
+class SloAwarePolicy final : public PlacementPolicy {
+ public:
+  /// `throughput` prices runtime excess (the legacy cost matrix);
+  /// `tail` is the pairwise p99-slowdown projection (tail(fg, bg) =
+  /// fg's p99 ratio with bg co-resident). Same axis required.
+  SloAwarePolicy(std::string name, harness::CorunMatrix throughput,
+                 harness::CorunMatrix tail);
+
+  std::string name() const override { return name_; }
+  using PlacementPolicy::place;
+  std::size_t place(const JobSpec& job, const ClusterView& cluster) override;
+  double last_cost_delta() const override { return last_delta_; }
+
+  /// Predicted SLO violation of the last place() decision (0 when the
+  /// chosen machine was admissible).
+  double last_violation() const { return last_violation_; }
+  /// Decisions where every open machine blew some LC budget.
+  std::size_t forced_violations() const { return forced_; }
+
+ private:
+  harness::CorunMatrix throughput_;
+  harness::CorunMatrix tail_;
+  std::string name_;
+  double last_delta_ = 0.0;
+  double last_violation_ = 0.0;
+  std::size_t forced_ = 0;
 };
 
 /// CostModelPolicy that closes the loop: every *new* observed pairwise

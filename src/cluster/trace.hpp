@@ -35,6 +35,14 @@ struct JobSpec {
   /// Priority class (0 = best effort). Higher classes leave the
   /// waiting queue first; FIFO within a class. <= kMaxPriority.
   unsigned priority = 0;
+  /// SLO class. > 0 marks the job latency-critical with this p99
+  /// slowdown budget (e.g. 1.5 = "p99 request latency may stretch at
+  /// most 1.5x over solo"); the simulator bills tail-latency regret on
+  /// every decision that could blow such a budget. 0 (the default) =
+  /// best-effort: billed on throughput only, exactly as before.
+  double slo_p99 = 0.0;
+
+  bool latency_critical() const { return slo_p99 > 0.0; }
 
   bool operator==(const JobSpec&) const = default;
 };

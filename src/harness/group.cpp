@@ -38,6 +38,7 @@ RunResult collect_member(sim::Machine& m, std::size_t app_index,
   r.regions = perf::profile_app(m, app_index, /*min_cycles=*/1000);
   r.footprint_bytes = model.footprint_bytes();
   r.hit_cycle_limit = hit_limit;
+  r.latency = m.app_latency(app_index);
   return r;
 }
 

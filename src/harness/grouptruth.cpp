@@ -178,11 +178,20 @@ GroupTruth::PlanStats GroupTruth::measure(const std::vector<Key>& keys,
       ++truncated_;
       reg.counter("grouptruth.truncated").add();
     }
-    const double solo_cycles =
-        static_cast<double>(solos_.at(key[0]).cycles);
+    const RunResult& solo_base = solos_.at(key[0]);
+    const double solo_cycles = static_cast<double>(solo_base.cycles);
     measured_[key] = solo_cycles > 0.0
                          ? static_cast<double>(g.members[0].cycles) / solo_cycles
                          : 1.0;
+    // Tail ratio only when both sides actually recorded requests (a
+    // serving foreground); batch foregrounds fall back to throughput,
+    // so tail_slowdown() is total over the axis either way.
+    const double solo_p99 = solo_base.latency.quantile(0.99);
+    measured_tail_[key] =
+        (g.members[0].latency.count > 0 && solo_base.latency.count > 0 &&
+         solo_p99 > 0.0)
+            ? g.members[0].latency.quantile(0.99) / solo_p99
+            : measured_[key];
   }
   return stats;
 }
@@ -201,6 +210,22 @@ double GroupTruth::slowdown(std::size_t type,
   if (it == measured_.end()) {
     measure({key}, {});
     it = measured_.find(key);
+  }
+  return it->second;
+}
+
+double GroupTruth::tail_slowdown(std::size_t type,
+                                 const std::vector<std::size_t>& others) {
+  if (type >= cfg_.workloads.size())
+    throw std::out_of_range{"GroupTruth::tail_slowdown: type outside the axis"};
+  if (others.empty()) return 1.0;
+  if (others.size() + 1 > cfg_.max_arity)
+    return slowdown(type, others);  // composed fallback, counted there
+  const Key key = make_key(type, others);
+  auto it = measured_tail_.find(key);
+  if (it == measured_tail_.end()) {
+    measure({key}, {});
+    it = measured_tail_.find(key);
   }
   return it->second;
 }
@@ -310,6 +335,8 @@ std::vector<GroupObservation> GroupTruth::observations() const {
     o.type = key[0];
     o.others.assign(key.begin() + 1, key.end());
     o.slowdown = value;
+    const auto tail = measured_tail_.find(key);
+    o.tail_slowdown = tail != measured_tail_.end() ? tail->second : value;
     obs.push_back(std::move(o));
   }
   return obs;

@@ -45,6 +45,9 @@ struct GroupObservation {
   std::size_t type = 0;
   std::vector<std::size_t> others;  ///< sorted co-resident type multiset
   double slowdown = 1.0;
+  /// p99 request-latency ratio for serving foregrounds; equals
+  /// `slowdown` for batch foregrounds (no request distribution).
+  double tail_slowdown = 1.0;
 };
 
 /// Co-residents of member `i`: `group` minus its i-th element. The
@@ -69,6 +72,18 @@ class InterferenceTruth {
   /// with the `others` multiset (order irrelevant; empty = solo).
   virtual double slowdown(std::size_t type,
                           const std::vector<std::size_t>& others) = 0;
+
+  /// Tail-latency slowdown: the ratio of the `type` resident's p99
+  /// request latency under the `others` multiset to its solo p99.
+  /// Only serving workloads have a request distribution; for batch
+  /// residents (and for truths with no latency data, like MatrixTruth)
+  /// this degenerates to the throughput slowdown -- the best available
+  /// proxy, and the value SLO billing should see when no tail was
+  /// measured.
+  virtual double tail_slowdown(std::size_t type,
+                               const std::vector<std::size_t>& others) {
+    return slowdown(type, others);
+  }
 
   /// The 2-resident projection: pairwise(fg, bg) == slowdown(fg, {bg}).
   virtual const CorunMatrix& pairwise() = 0;
@@ -166,6 +181,11 @@ class GroupTruth final : public InterferenceTruth {
   std::size_t size() const override { return cfg_.workloads.size(); }
   double slowdown(std::size_t type,
                   const std::vector<std::size_t>& others) override;
+  /// Measured p99 ratio when both the group foreground and its solo
+  /// baseline recorded requests; otherwise the throughput slowdown.
+  /// Groups beyond max_arity fall back through slowdown() (counted).
+  double tail_slowdown(std::size_t type,
+                       const std::vector<std::size_t>& others) override;
   const CorunMatrix& pairwise() override;
 
   /// What one batched measurement put in front of the executor.
@@ -220,6 +240,9 @@ class GroupTruth final : public InterferenceTruth {
 
   Config cfg_;
   std::map<Key, double> measured_;
+  /// Tail (p99) slowdowns, parallel to measured_ -- every measured key
+  /// has an entry (throughput value when no latency data exists).
+  std::map<Key, double> measured_tail_;
   std::map<std::size_t, RunResult> solos_;
   CorunMatrix matrix_;
   std::uint64_t truncated_ = 0;

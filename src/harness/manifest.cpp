@@ -1,0 +1,588 @@
+#include "harness/manifest.hpp"
+
+#include <cctype>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "harness/runcache.hpp"
+#include "perf/metrics.hpp"
+
+namespace coperf::harness {
+
+namespace {
+
+// --- JSON writing ----------------------------------------------------
+
+/// 17 significant digits round-trip any IEEE double exactly through
+/// strtod, so every stored floating-point field reloads bit-identical.
+void jnum(std::ostream& os, double v) {
+  os << std::setprecision(17) << v;
+}
+
+void jstr(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(c)) << std::dec
+             << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_cache(std::ostream& os, const sim::CacheConfig& c) {
+  os << '[' << c.size_bytes << ", " << c.assoc << ", " << c.latency_cycles
+     << ", " << c.line_bytes << ']';
+}
+
+void write_machine(std::ostream& os, const sim::MachineConfig& m) {
+  os << "{\"num_cores\": " << m.num_cores << ", \"freq_ghz\": ";
+  jnum(os, m.freq_ghz);
+  os << ", \"l1d\": ";
+  write_cache(os, m.l1d);
+  os << ", \"l2\": ";
+  write_cache(os, m.l2);
+  os << ", \"l3\": ";
+  write_cache(os, m.l3);
+  os << ", \"l3_inclusive\": " << (m.l3_inclusive ? "true" : "false")
+     << ", \"peak_bw_gbs\": ";
+  jnum(os, m.peak_bw_gbs);
+  os << ", \"per_core_bw_gbs\": ";
+  jnum(os, m.per_core_bw_gbs);
+  os << ", \"dram_latency_cycles\": " << m.dram_latency_cycles
+     << ", \"mshr_per_core\": " << m.mshr_per_core
+     << ", \"store_buffer\": " << m.store_buffer
+     << ", \"rob_instructions\": " << m.rob_instructions
+     << ", \"quantum_cycles\": " << m.quantum_cycles << ", \"prefetch\": ["
+     << (m.prefetch.l2_stream ? "true" : "false") << ", "
+     << (m.prefetch.l2_adjacent ? "true" : "false") << ", "
+     << (m.prefetch.l1_next_line ? "true" : "false") << ", "
+     << (m.prefetch.l1_ip_stride ? "true" : "false")
+     << "], \"streamer_degree\": " << m.streamer_degree
+     << ", \"streamer_train\": " << m.streamer_train
+     << ", \"scale\": " << m.scale << '}';
+}
+
+const char* size_name(wl::SizeClass s) {
+  switch (s) {
+    case wl::SizeClass::Tiny: return "Tiny";
+    case wl::SizeClass::Small: return "Small";
+    case wl::SizeClass::Native: return "Native";
+  }
+  throw std::logic_error{"manifest: unknown size class"};
+}
+
+wl::SizeClass parse_size(const std::string& s) {
+  if (s == "Tiny") return wl::SizeClass::Tiny;
+  if (s == "Small") return wl::SizeClass::Small;
+  if (s == "Native") return wl::SizeClass::Native;
+  throw std::runtime_error{"manifest: unknown size class '" + s + "'"};
+}
+
+void write_options(std::ostream& os, const RunOptions& o) {
+  os << "{\"machine\": ";
+  write_machine(os, o.machine);
+  os << ", \"size\": \"" << size_name(o.size) << "\", \"threads\": "
+     << o.threads << ", \"bg_threads\": " << o.bg_threads << ", \"seed\": "
+     << o.seed << ", \"sample_window\": " << o.sample_window
+     << ", \"cycle_limit\": " << o.cycle_limit << '}';
+}
+
+void write_stats(std::ostream& os, const sim::CoreStats& s) {
+  os << '[' << s.cycles << ", " << s.instructions << ", " << s.loads << ", "
+     << s.stores << ", " << s.l1d_hits << ", " << s.l1d_misses << ", "
+     << s.l2_hits << ", " << s.l2_misses << ", " << s.l3_hits << ", "
+     << s.l3_misses << ", " << s.bytes_from_mem << ", "
+     << s.bytes_written_back << ", " << s.stall_cycles_mem << ", "
+     << s.pending_l2_cycles << ", " << s.barrier_wait_cycles << ", "
+     << s.prefetches_issued << ']';
+}
+
+void write_latency(std::ostream& os, const sim::LatencyStats& l) {
+  os << "{\"count\": " << l.count << ", \"sum\": " << l.sum
+     << ", \"buckets\": [";
+  bool first = true;
+  for (std::size_t b = 0; b < l.buckets.size(); ++b) {
+    if (l.buckets[b] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << '[' << b << ", " << l.buckets[b] << ']';
+  }
+  os << "]}";
+}
+
+void write_run(std::ostream& os, const RunResult& r) {
+  os << "{\"workload\": ";
+  jstr(os, r.workload);
+  os << ", \"threads\": " << r.threads << ", \"cycles\": " << r.cycles
+     << ", \"seconds\": ";
+  jnum(os, r.seconds);
+  os << ", \"avg_bw_gbs\": ";
+  jnum(os, r.avg_bw_gbs);
+  os << ", \"footprint_bytes\": " << r.footprint_bytes
+     << ", \"hit_cycle_limit\": " << (r.hit_cycle_limit ? "true" : "false")
+     << ", \"stats\": ";
+  write_stats(os, r.stats);
+  os << ", \"latency\": ";
+  write_latency(os, r.latency);
+  os << '}';
+}
+
+void write_group_result(std::ostream& os, const GroupResult& g) {
+  os << "{\"members\": [";
+  for (std::size_t i = 0; i < g.members.size(); ++i) {
+    if (i != 0) os << ", ";
+    write_run(os, g.members[i]);
+  }
+  os << "], \"runs_completed\": [";
+  for (std::size_t i = 0; i < g.runs_completed.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << g.runs_completed[i];
+  }
+  os << "], \"total_avg_bw_gbs\": ";
+  jnum(os, g.total_avg_bw_gbs);
+  os << ", \"finish_cycle\": " << g.finish_cycle << ", \"hit_cycle_limit\": "
+     << (g.hit_cycle_limit ? "true" : "false") << '}';
+}
+
+// --- JSON parsing ----------------------------------------------------
+//
+// A small strict recursive-descent parser for exactly the documents
+// save_manifest emits (objects, arrays, strings, numbers, booleans,
+// null). Numbers keep their raw text so 64-bit integers reload exactly
+// (no double round-trip for counters).
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool b = false;
+  std::string text;  ///< Number: raw token; String: decoded value
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue& at(const std::string& key) const {
+    for (const auto& [k, v] : fields)
+      if (k == key) return v;
+    throw std::runtime_error{"manifest: missing field '" + key + "'"};
+  }
+  std::uint64_t u64() const {
+    if (kind != Kind::Number)
+      throw std::runtime_error{"manifest: expected a number"};
+    return std::stoull(text);
+  }
+  double num() const {
+    if (kind != Kind::Number)
+      throw std::runtime_error{"manifest: expected a number"};
+    return std::stod(text);
+  }
+  const std::string& str() const {
+    if (kind != Kind::String)
+      throw std::runtime_error{"manifest: expected a string"};
+    return text;
+  }
+  bool boolean() const {
+    if (kind != Kind::Bool)
+      throw std::runtime_error{"manifest: expected a boolean"};
+    return b;
+  }
+  const std::vector<JsonValue>& arr() const {
+    if (kind != Kind::Array)
+      throw std::runtime_error{"manifest: expected an array"};
+    return items;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::istream& is) {
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    text_ = buf.str();
+  }
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size())
+      fail("trailing content after the top-level value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error{"manifest: parse error at byte " +
+                             std::to_string(pos_) + ": " + what};
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f' || c == 'n') return literal();
+    if (c == '-' || (c >= '0' && c <= '9')) return number();
+    fail("unexpected character");
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonValue key = string_value();
+      expect(':');
+      v.fields.emplace_back(std::move(key.text), value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  JsonValue string_value() {
+    expect('"');
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.text += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': v.text += '"'; break;
+        case '\\': v.text += '\\'; break;
+        case '/': v.text += '/'; break;
+        case 'n': v.text += '\n'; break;
+        case 't': v.text += '\t'; break;
+        case 'r': v.text += '\r'; break;
+        case 'b': v.text += '\b'; break;
+        case 'f': v.text += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          const int code = std::stoi(text_.substr(pos_, 4), nullptr, 16);
+          pos_ += 4;
+          if (code > 0x7F) fail("non-ASCII \\u escape unsupported");
+          v.text += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue literal() {
+    JsonValue v;
+    if (consume_literal("true")) {
+      v.kind = JsonValue::Kind::Bool;
+      v.b = true;
+    } else if (consume_literal("false")) {
+      v.kind = JsonValue::Kind::Bool;
+      v.b = false;
+    } else if (consume_literal("null")) {
+      v.kind = JsonValue::Kind::Null;
+    } else {
+      fail("unknown literal");
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    const std::size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      digits();
+    }
+    if (pos_ == start) fail("malformed number");
+    v.text = text_.substr(start, pos_ - start);
+    return v;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// --- deserialization -------------------------------------------------
+
+sim::CacheConfig parse_cache(const JsonValue& v) {
+  const auto& a = v.arr();
+  if (a.size() != 4)
+    throw std::runtime_error{"manifest: cache config needs 4 entries"};
+  sim::CacheConfig c;
+  c.size_bytes = a[0].u64();
+  c.assoc = static_cast<std::uint32_t>(a[1].u64());
+  c.latency_cycles = static_cast<std::uint32_t>(a[2].u64());
+  c.line_bytes = static_cast<std::uint32_t>(a[3].u64());
+  return c;
+}
+
+sim::MachineConfig parse_machine(const JsonValue& v) {
+  sim::MachineConfig m;
+  m.num_cores = static_cast<std::uint32_t>(v.at("num_cores").u64());
+  m.freq_ghz = v.at("freq_ghz").num();
+  m.l1d = parse_cache(v.at("l1d"));
+  m.l2 = parse_cache(v.at("l2"));
+  m.l3 = parse_cache(v.at("l3"));
+  m.l3_inclusive = v.at("l3_inclusive").boolean();
+  m.peak_bw_gbs = v.at("peak_bw_gbs").num();
+  m.per_core_bw_gbs = v.at("per_core_bw_gbs").num();
+  m.dram_latency_cycles =
+      static_cast<std::uint32_t>(v.at("dram_latency_cycles").u64());
+  m.mshr_per_core = static_cast<std::uint32_t>(v.at("mshr_per_core").u64());
+  m.store_buffer = static_cast<std::uint32_t>(v.at("store_buffer").u64());
+  m.rob_instructions =
+      static_cast<std::uint32_t>(v.at("rob_instructions").u64());
+  m.quantum_cycles = static_cast<std::uint32_t>(v.at("quantum_cycles").u64());
+  const auto& pf = v.at("prefetch").arr();
+  if (pf.size() != 4)
+    throw std::runtime_error{"manifest: prefetch mask needs 4 entries"};
+  m.prefetch = {pf[0].boolean(), pf[1].boolean(), pf[2].boolean(),
+                pf[3].boolean()};
+  m.streamer_degree = static_cast<std::uint32_t>(v.at("streamer_degree").u64());
+  m.streamer_train = static_cast<std::uint32_t>(v.at("streamer_train").u64());
+  m.scale = static_cast<std::uint32_t>(v.at("scale").u64());
+  return m;
+}
+
+RunOptions parse_options(const JsonValue& v) {
+  RunOptions o;
+  o.machine = parse_machine(v.at("machine"));
+  o.size = parse_size(v.at("size").str());
+  o.threads = static_cast<unsigned>(v.at("threads").u64());
+  o.bg_threads = static_cast<unsigned>(v.at("bg_threads").u64());
+  o.seed = v.at("seed").u64();
+  o.sample_window = v.at("sample_window").u64();
+  o.cycle_limit = v.at("cycle_limit").u64();
+  return o;
+}
+
+sim::CoreStats parse_stats(const JsonValue& v) {
+  const auto& a = v.arr();
+  if (a.size() != 16)
+    throw std::runtime_error{"manifest: stats array needs 16 counters"};
+  sim::CoreStats s;
+  s.cycles = a[0].u64();
+  s.instructions = a[1].u64();
+  s.loads = a[2].u64();
+  s.stores = a[3].u64();
+  s.l1d_hits = a[4].u64();
+  s.l1d_misses = a[5].u64();
+  s.l2_hits = a[6].u64();
+  s.l2_misses = a[7].u64();
+  s.l3_hits = a[8].u64();
+  s.l3_misses = a[9].u64();
+  s.bytes_from_mem = a[10].u64();
+  s.bytes_written_back = a[11].u64();
+  s.stall_cycles_mem = a[12].u64();
+  s.pending_l2_cycles = a[13].u64();
+  s.barrier_wait_cycles = a[14].u64();
+  s.prefetches_issued = a[15].u64();
+  return s;
+}
+
+sim::LatencyStats parse_latency(const JsonValue& v) {
+  sim::LatencyStats l;
+  l.count = v.at("count").u64();
+  l.sum = v.at("sum").u64();
+  std::uint64_t total = 0;
+  for (const JsonValue& pair : v.at("buckets").arr()) {
+    const auto& p = pair.arr();
+    if (p.size() != 2)
+      throw std::runtime_error{"manifest: latency bucket needs [index, count]"};
+    const std::uint64_t b = p[0].u64();
+    if (b >= l.buckets.size())
+      throw std::runtime_error{"manifest: latency bucket index out of range"};
+    l.buckets[b] = p[1].u64();
+    total += p[1].u64();
+  }
+  if (total != l.count)
+    throw std::runtime_error{"manifest: latency bucket total != count"};
+  return l;
+}
+
+RunResult parse_run(const JsonValue& v) {
+  RunResult r;
+  r.workload = v.at("workload").str();
+  r.threads = static_cast<unsigned>(v.at("threads").u64());
+  r.cycles = v.at("cycles").u64();
+  r.seconds = v.at("seconds").num();
+  r.avg_bw_gbs = v.at("avg_bw_gbs").num();
+  r.footprint_bytes = static_cast<std::size_t>(v.at("footprint_bytes").u64());
+  r.hit_cycle_limit = v.at("hit_cycle_limit").boolean();
+  r.stats = parse_stats(v.at("stats"));
+  // Derived metrics are a pure function of the counters; regions are
+  // the documented lossy spot (empty on load).
+  r.metrics = perf::Metrics::from(r.stats);
+  r.latency = parse_latency(v.at("latency"));
+  return r;
+}
+
+GroupResult parse_group_result(const JsonValue& v) {
+  GroupResult g;
+  for (const JsonValue& m : v.at("members").arr())
+    g.members.push_back(parse_run(m));
+  for (const JsonValue& n : v.at("runs_completed").arr())
+    g.runs_completed.push_back(n.u64());
+  g.total_avg_bw_gbs = v.at("total_avg_bw_gbs").num();
+  g.finish_cycle = v.at("finish_cycle").u64();
+  g.hit_cycle_limit = v.at("hit_cycle_limit").boolean();
+  return g;
+}
+
+GroupSpec parse_members(const JsonValue& v) {
+  GroupSpec spec;
+  for (const JsonValue& m : v.arr()) {
+    MemberSpec mem;
+    mem.workload = m.at("workload").str();
+    mem.threads = static_cast<unsigned>(m.at("threads").u64());
+    const JsonValue& size = m.at("size");
+    if (size.kind != JsonValue::Kind::Null) mem.size = parse_size(size.str());
+    mem.restart_until_done = m.at("restart").boolean();
+    spec.members.push_back(std::move(mem));
+  }
+  return spec;
+}
+
+}  // namespace
+
+void save_manifest(std::ostream& os, const ExperimentPlan& plan,
+                   const ResultSet& rs) {
+  os << "{\"coperf_manifest\": " << kManifestVersion << ",\n\"base\": ";
+  write_options(os, plan.options());
+  os << ",\n\"trials\": [";
+  bool first = true;
+  for (const Trial& t : plan.trials()) {
+    os << (first ? "\n" : ",\n") << "{\"key\": ";
+    first = false;
+    jstr(os, t.key);
+    os << ",\n \"members\": [";
+    for (std::size_t i = 0; i < t.group.members.size(); ++i) {
+      const MemberSpec& m = t.group.members[i];
+      if (i != 0) os << ", ";
+      os << "{\"workload\": ";
+      jstr(os, m.workload);
+      os << ", \"threads\": " << m.threads << ", \"size\": ";
+      if (m.size)
+        os << '"' << size_name(*m.size) << '"';
+      else
+        os << "null";
+      os << ", \"restart\": " << (m.restart_until_done ? "true" : "false")
+         << '}';
+    }
+    os << "],\n \"options\": ";
+    write_options(os, t.opt);
+    os << ",\n \"result\": ";
+    write_group_result(os, rs.at(t.key));  // throws if rs is not this plan's
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+std::string manifest_json(const ExperimentPlan& plan, const ResultSet& rs) {
+  std::ostringstream os;
+  save_manifest(os, plan, rs);
+  return os.str();
+}
+
+ResultSet load_manifest(std::istream& is) {
+  const JsonValue doc = JsonParser{is}.parse();
+  const std::uint64_t version = doc.at("coperf_manifest").u64();
+  if (version != static_cast<std::uint64_t>(kManifestVersion))
+    throw std::runtime_error{"manifest: version " + std::to_string(version) +
+                             " unsupported (expected " +
+                             std::to_string(kManifestVersion) + ")"};
+  ResultSet rs;
+  rs.base_ = parse_options(doc.at("base"));
+  for (const JsonValue& t : doc.at("trials").arr()) {
+    const std::string& key = t.at("key").str();
+    const GroupSpec spec = parse_members(t.at("members"));
+    const RunOptions opt = parse_options(t.at("options"));
+    // Integrity: the stored key must be the key the deserialized spec
+    // still content-addresses to. A mismatch means the manifest was
+    // edited or the key schema changed -- results would silently be
+    // unaddressable, so fail loudly instead.
+    if (RunCache::group_key(spec, opt) != key)
+      throw std::runtime_error{
+          "manifest: trial key does not match its spec (corrupted or "
+          "incompatible manifest): " +
+          key};
+    rs.results_.emplace(key, parse_group_result(t.at("result")));
+  }
+  return rs;
+}
+
+}  // namespace coperf::harness

@@ -139,6 +139,25 @@ void json_metrics(std::ostringstream& os, const perf::Metrics& m) {
      << "}";
 }
 
+/// Latency object: counts plus interpolated percentiles in cycles, and
+/// the sparse non-zero buckets so the distribution round-trips. Batch
+/// workloads emit {"count": 0, ...} -- present but empty, so column
+/// shape never depends on the workload.
+void json_latency(std::ostringstream& os, const sim::LatencyStats& l) {
+  os << "{\"count\": " << l.count << ", \"sum\": " << l.sum
+     << ", \"p50\": " << jnum(l.quantile(0.50))
+     << ", \"p95\": " << jnum(l.quantile(0.95))
+     << ", \"p99\": " << jnum(l.quantile(0.99)) << ", \"buckets\": [";
+  bool first = true;
+  for (unsigned b = 0; b < l.buckets.size(); ++b) {
+    if (l.buckets[b] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "[" << b << ", " << l.buckets[b] << "]";
+  }
+  os << "]}";
+}
+
 void json_run(std::ostringstream& os, const RunResult& r) {
   os << "{\"workload\": " << jstr(r.workload) << ", \"threads\": " << r.threads
      << ", \"cycles\": " << r.cycles << ", \"seconds\": " << jnum(r.seconds)
@@ -146,7 +165,9 @@ void json_run(std::ostringstream& os, const RunResult& r) {
      << ", \"avg_bw_gbs\": " << jnum(r.avg_bw_gbs)
      << ", \"footprint_bytes\": " << r.footprint_bytes
      << ", \"hit_cycle_limit\": " << (r.hit_cycle_limit ? "true" : "false")
-     << ", \"metrics\": ";
+     << ", \"latency\": ";
+  json_latency(os, r.latency);
+  os << ", \"metrics\": ";
   json_metrics(os, r.metrics);
   os << ", \"regions\": [";
   bool first = true;
@@ -163,7 +184,8 @@ void json_run(std::ostringstream& os, const RunResult& r) {
 
 constexpr const char* kRunCsvHeader =
     "workload,threads,cycles,seconds,instructions,avg_bw_gbs,"
-    "footprint_bytes,hit_cycle_limit,cpi,ipc,llc_mpki,l2_pcp,ll";
+    "footprint_bytes,hit_cycle_limit,cpi,ipc,llc_mpki,l2_pcp,ll,"
+    "req_count,lat_p50,lat_p95,lat_p99";
 
 void csv_run_row(std::ostringstream& os, const RunResult& r) {
   os << csv_field(r.workload) << ',' << r.threads << ',';
@@ -178,7 +200,17 @@ void csv_run_row(std::ostringstream& os, const RunResult& r) {
      << jnum(r.avg_bw_gbs) << ',' << r.footprint_bytes << ','
      << (r.hit_cycle_limit ? 1 : 0) << ',' << jnum(r.metrics.cpi) << ','
      << jnum(r.metrics.ipc) << ',' << jnum(r.metrics.llc_mpki) << ','
-     << jnum(r.metrics.l2_pcp) << ',' << jnum(r.metrics.ll) << '\n';
+     << jnum(r.metrics.l2_pcp) << ',' << jnum(r.metrics.ll) << ','
+     << r.latency.count << ',';
+  // Batch workloads have no requests: the percentile columns stay
+  // empty (not nan -- that marks cycle-limit-flagged members).
+  if (r.latency.empty())
+    os << ",,";
+  else
+    os << jnum(r.latency.quantile(0.50)) << ','
+       << jnum(r.latency.quantile(0.95)) << ','
+       << jnum(r.latency.quantile(0.99));
+  os << '\n';
 }
 
 }  // namespace
@@ -348,8 +380,8 @@ std::string to_csv(const CorunResult& c) {
   os << "bg," << csv_field(c.bg_workload) << ",,nan,nan,"
      << c.bg_stats.instructions << ',' << jnum(c.bg_avg_bw_gbs) << ",,,"
      << jnum(bg.cpi) << ',' << jnum(bg.ipc) << ',' << jnum(bg.llc_mpki) << ','
-     << jnum(bg.l2_pcp) << ',' << jnum(bg.ll) << ',' << c.bg_runs_completed
-     << '\n';
+     << jnum(bg.l2_pcp) << ',' << jnum(bg.ll) << ",0,,,,"
+     << c.bg_runs_completed << '\n';
   return os.str();
 }
 

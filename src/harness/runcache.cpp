@@ -56,6 +56,12 @@ void put_run(std::ostream& os, const RunResult& r) {
      << "cycles " << r.cycles << '\n'
      << "seconds " << fmt_double(r.seconds) << '\n';
   put_stats(os, "stats", r.stats);
+  // Sparse latency line: count, sum, then (bucket, count) pairs.
+  os << "latency " << r.latency.count << ' ' << r.latency.sum;
+  for (std::size_t b = 0; b < r.latency.buckets.size(); ++b)
+    if (r.latency.buckets[b] != 0)
+      os << ' ' << b << ' ' << r.latency.buckets[b];
+  os << '\n';
   os << "avg_bw " << fmt_double(r.avg_bw_gbs) << '\n'
      << "footprint " << r.footprint_bytes << '\n'
      << "hit_limit " << (r.hit_cycle_limit ? 1 : 0) << '\n'
@@ -76,6 +82,24 @@ bool get_run(std::istream& is, RunResult& r) {
   if (!(is >> tag >> r.cycles) || tag != "cycles") return false;
   if (!(is >> tag >> r.seconds) || tag != "seconds") return false;
   if (!(is >> tag) || tag != "stats" || !get_stats(is, r.stats)) return false;
+  if (!(is >> tag >> r.latency.count >> r.latency.sum) || tag != "latency")
+    return false;
+  {
+    // The rest of the latency line is sparse (bucket, count) pairs.
+    r.latency.buckets.fill(0);
+    std::string rest;
+    if (!std::getline(is, rest)) return false;
+    std::istringstream pairs{rest};
+    std::size_t b = 0;
+    std::uint64_t n = 0;
+    std::uint64_t total = 0;
+    while (pairs >> b >> n) {
+      if (b >= r.latency.buckets.size()) return false;
+      r.latency.buckets[b] = n;
+      total += n;
+    }
+    if (total != r.latency.count) return false;
+  }
   if (!(is >> tag >> r.avg_bw_gbs) || tag != "avg_bw") return false;
   if (!(is >> tag >> r.footprint_bytes) || tag != "footprint") return false;
   if (!(is >> tag >> hit_limit) || tag != "hit_limit") return false;
@@ -131,7 +155,10 @@ bool get_group(std::istream& is, GroupResult& g) {
   return true;
 }
 
-constexpr const char* kDiskHeader = "coperf-run-cache v3";
+// v4: RunResult gained the per-request latency line. The header bump
+// quarantines every v3 entry through the existing wrong-header path,
+// so a stale cache re-simulates instead of parsing garbage.
+constexpr const char* kDiskHeader = "coperf-run-cache v4";
 
 std::string checksum_line(std::string_view payload) {
   char buf[32];

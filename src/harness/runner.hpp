@@ -31,6 +31,14 @@ struct RunOptions {
 };
 
 /// Measurements of one application from one run (solo or co-run).
+///
+/// Migration note (PR 9): `latency` is new -- the per-request latency
+/// distribution in simulated cycles for serving workloads. Batch
+/// workloads (everything outside the "serve" suite) never emit request
+/// marks, so for them `latency` is empty (count == 0) and every
+/// pre-existing field is bit-identical to before. Consumers that
+/// aggregate RunResults should merge `latency` with operator+=; the
+/// derived percentiles come from LatencyStats::quantile.
 struct RunResult {
   std::string workload;
   unsigned threads = 0;
@@ -42,6 +50,8 @@ struct RunResult {
   std::vector<perf::RegionProfile> regions;
   std::size_t footprint_bytes = 0;
   bool hit_cycle_limit = false;
+  /// Per-request latency distribution (empty for batch workloads).
+  sim::LatencyStats latency;
 };
 
 /// Result of one foreground/background pairing.

@@ -1,6 +1,8 @@
 #include "obs/metrics.hpp"
 
 #include <bit>
+
+#include "obs/quantile.hpp"
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -100,6 +102,18 @@ std::uint64_t Histogram::quantile_upper(double q) const noexcept {
     }
   }
   return UINT64_MAX;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  // Snapshot the buckets once so the interpolation sees one coherent
+  // view even while other threads record.
+  std::uint64_t snap[kBuckets];
+  std::uint64_t n = 0;
+  for (unsigned b = 0; b < kBuckets; ++b) {
+    snap[b] = bucket(b);
+    n += snap[b];
+  }
+  return bucket_quantile(snap, n, q);
 }
 
 void Histogram::reset() noexcept {

@@ -93,6 +93,9 @@ class Histogram {
   std::uint64_t bucket(unsigned b) const noexcept;
   /// Upper bound of the bucket containing the q-quantile (q in [0,1]).
   std::uint64_t quantile_upper(double q) const noexcept;
+  /// The q-quantile linearly interpolated within its bucket
+  /// (obs/quantile.hpp math); 0.0 for an empty histogram.
+  double quantile(double q) const noexcept;
   void reset() noexcept;
 
  private:

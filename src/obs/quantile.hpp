@@ -1,0 +1,68 @@
+// Shared log2-bucket quantile math (obs subsystem).
+//
+// Both the obs::Histogram metrics type and the simulator's per-request
+// LatencyStats keep the same 65-bucket log2 layout: bucket b holds
+// values whose bit width is b, i.e. [2^(b-1), 2^b), with value 0 in
+// bucket 0. These free functions hold the one copy of the bucket/
+// quantile arithmetic so the RunResult latency percentiles and the
+// metrics snapshot percentiles cannot drift apart. Header-only and
+// dependency-free (plain uint64 arrays, no atomics) so sim/ can use it
+// without pulling in the metrics registry.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace coperf::obs {
+
+/// Number of log2 buckets covering the full uint64 range.
+inline constexpr unsigned kQuantileBuckets = 65;
+
+/// Bucket index of `v`: its bit width (0 for v == 0).
+inline unsigned log_bucket(std::uint64_t v) noexcept {
+  return v == 0 ? 0 : static_cast<unsigned>(std::bit_width(v));
+}
+
+/// Inclusive lower bound of bucket b (0 for buckets 0 and 1).
+inline std::uint64_t bucket_low(unsigned b) noexcept {
+  return b <= 1 ? 0 : (std::uint64_t{1} << (b - 1));
+}
+
+/// Exclusive upper bound of bucket b, saturating at UINT64_MAX.
+inline std::uint64_t bucket_high(unsigned b) noexcept {
+  return b >= 64 ? UINT64_MAX : (std::uint64_t{1} << b);
+}
+
+/// The q-quantile (q in [0,1], clamped) of a 65-entry log2 bucket
+/// array holding `count` samples, linearly interpolated within the
+/// bucket containing the rank target. Returns 0.0 for an empty
+/// distribution. The interpolation assumes samples spread uniformly
+/// across a bucket's value range, so the result is exact at bucket
+/// boundaries and a smooth estimate inside -- good to a factor of 2 by
+/// construction, like the histogram itself.
+template <typename Buckets>
+inline double bucket_quantile(const Buckets& buckets, std::uint64_t count,
+                              double q) noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (unsigned b = 0; b < kQuantileBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    const std::uint64_t prev = cum;
+    cum += in_bucket;
+    if (static_cast<double>(cum) >= target) {
+      const double lo = static_cast<double>(bucket_low(b));
+      const double hi = static_cast<double>(bucket_high(b));
+      const double frac =
+          (target - static_cast<double>(prev)) / static_cast<double>(in_bucket);
+      const double clamped = frac < 0.0 ? 0.0 : frac;
+      return lo + (hi - lo) * clamped;
+    }
+  }
+  return static_cast<double>(bucket_high(kQuantileBuckets - 1));
+}
+
+}  // namespace coperf::obs

@@ -112,6 +112,9 @@ WorkloadSignature WorkloadSignature::from(const harness::RunResult& solo,
           ? static_cast<double>(solo.stats.stall_cycles_mem) /
                 static_cast<double>(solo.stats.cycles)
           : 0.0;
+  s.solo_lat_p50 = solo.latency.quantile(0.50);
+  s.solo_lat_p99 = solo.latency.quantile(0.99);
+  s.request_count = solo.latency.count;
   // bytes_from_mem counts demand line fills only; the PCM-measured
   // bandwidth additionally carries prefetch fills and writebacks.
   // Whatever the channel moved beyond demand was fetched ahead by the

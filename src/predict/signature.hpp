@@ -52,6 +52,16 @@ struct WorkloadSignature {
   sim::Cycle solo_cycles = 0;
   double solo_seconds = 0.0;
 
+  // Tail pass-through for latency-critical serving workloads: the solo
+  // p99/p50 request latency in cycles and the request count, straight
+  // from RunResult::latency. All zero for batch workloads (no request
+  // distribution) -- a tail-aware model can use these as features; the
+  // throughput models ignore them.
+  double solo_lat_p50 = 0.0;
+  double solo_lat_p99 = 0.0;
+  std::uint64_t request_count = 0;
+  bool latency_critical() const { return request_count > 0; }
+
   /// Offender score: how hard this workload presses the shared LLC and
   /// memory channel (what it does *to* a co-runner).
   double intensity() const;

@@ -23,6 +23,9 @@ void Core::attach(OpSource* src, AppId app, Cycle at) {
   ring_head_ = 0;
   ring_size_ = 0;
   pending_watermark_ = local_;
+  // Requests never span an attach: a background restart re-attaches at
+  // the join cycle and the idle gap must not count as request time.
+  last_request_mark_ = local_;
   frac_cycles_ = 0.0;
 }
 
@@ -77,6 +80,20 @@ void Core::do_region(std::uint32_t region) {
   if (region == cur_region_) return;
   flush_region();
   cur_region_ = region;
+}
+
+void Core::do_request(std::uint32_t count) {
+  // A request ends when its slowest outstanding miss arrives, not when
+  // the in-order front has merely issued it: take the latest in-flight
+  // completion into account (pure observation -- neither local_ nor
+  // any counter moves, so batch timing is untouched even if a batch
+  // workload ever emitted a mark).
+  Cycle end = local_;
+  for (std::uint32_t i = 0; i < ring_size_; ++i)
+    end = std::max(end, window_ring_[(ring_head_ + i) % kMaxWindow].completion);
+  if (count != 0)
+    latency_.record(end > last_request_mark_ ? end - last_request_mark_ : 0);
+  last_request_mark_ = end;
 }
 
 void Core::pending_add(Cycle start, Cycle end) {
@@ -199,6 +216,9 @@ void Core::exec(const Op& op) {
       break;
     case OpKind::Region:
       do_region(op.count);
+      break;
+    case OpKind::Request:
+      do_request(op.count);
       break;
     case OpKind::Barrier: {
       const auto released = sync_->barrier_arrive(id_, local_);

@@ -74,6 +74,10 @@ class Core {
   /// per-region bookkeeping off the allocator on the hot path.
   const std::vector<std::pair<std::uint32_t, CoreStats>>& region_stats();
 
+  /// Per-request latencies recorded at OpKind::Request boundaries
+  /// (empty for batch workloads, which never emit request marks).
+  const LatencyStats& latency() const { return latency_; }
+
   /// Forces local time forward (app restart joins, test setup).
   void advance_to(Cycle t) { local_ = std::max(local_, t); }
 
@@ -82,6 +86,7 @@ class Core {
   void do_compute(std::uint32_t uops);
   void do_mem(const Op& op, bool is_write);
   void do_region(std::uint32_t region);
+  void do_request(std::uint32_t count);
   void flush_region();
   void pending_add(Cycle start, Cycle end);
   /// Retires completed misses; stalls on MSHR or ROB pressure.
@@ -126,6 +131,10 @@ class Core {
   Cycle pending_watermark_ = 0;
 
   CoreStats stats_;
+  LatencyStats latency_;
+  /// End of the previous request (or the attach point): where the next
+  /// request's latency measurement starts.
+  Cycle last_request_mark_ = 0;
   std::uint32_t cur_region_ = 0;
   Cycle region_start_cycle_ = 0;
   CoreStats region_snapshot_;

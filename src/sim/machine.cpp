@@ -180,6 +180,12 @@ CoreStats Machine::app_stats(std::size_t i) const {
   return total;
 }
 
+LatencyStats Machine::app_latency(std::size_t i) const {
+  LatencyStats total;
+  for (unsigned c : apps_[i].cores) total += cores_[c].latency();
+  return total;
+}
+
 std::vector<std::pair<std::uint32_t, CoreStats>> Machine::app_region_stats(
     std::size_t i) {
   // Flat sorted merge (regions are few); region 0 is the implicit

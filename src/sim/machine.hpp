@@ -83,6 +83,10 @@ class Machine final : public SyncEnv {
   /// Per-region aggregated counters over all cores of binding `i`.
   std::vector<std::pair<std::uint32_t, CoreStats>> app_region_stats(std::size_t i);
 
+  /// Merged per-request latency distribution over all cores of binding
+  /// `i` (empty for batch workloads).
+  LatencyStats app_latency(std::size_t i) const;
+
   const std::vector<BandwidthSample>& bandwidth_timeline() const { return samples_; }
 
   /// PCM-style sampling window (cycles between samples).

@@ -21,6 +21,12 @@ enum class OpKind : std::uint8_t {
   Store,    ///< one demand store to `addr`
   Barrier,  ///< synchronize with all threads of the same application
   Region,   ///< enter profiling region `region` (VTune hot-spot analogue)
+  /// Request boundary for serving workloads: `count` == 1 records the
+  /// cycles since the previous mark as one request latency; `count`
+  /// == 0 only moves the mark (setup / inter-batch gaps are excluded
+  /// without polluting the distribution). Batch workloads never emit
+  /// this, so their timing and stats are untouched.
+  Request,
 };
 
 /// Dependence/locality class of a memory access, controlling how much
@@ -56,6 +62,12 @@ struct Op {
   static Op barrier() { return Op{OpKind::Barrier, Dep::Indep, 0, 0, 0}; }
   static Op region(std::uint32_t id) {
     return Op{OpKind::Region, Dep::Indep, 0, id, 0};
+  }
+  static Op request_done() {
+    return Op{OpKind::Request, Dep::Indep, 0, 1, 0};
+  }
+  static Op request_reset() {
+    return Op{OpKind::Request, Dep::Indep, 0, 0, 0};
   }
 };
 static_assert(sizeof(Op) == 16, "Op should stay a compact 16-byte POD");

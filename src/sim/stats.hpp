@@ -6,9 +6,12 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <utility>
 #include <vector>
+
+#include "obs/quantile.hpp"
 
 namespace coperf::sim {
 
@@ -119,6 +122,42 @@ struct CoreStats {
     prefetches_issued += o.prefetches_issued;
     return *this;
   }
+};
+
+/// Per-request latency distribution in simulated cycles, recorded at
+/// OpKind::Request boundaries. Same 65-bucket log2 layout as
+/// obs::Histogram (obs/quantile.hpp holds the shared math), but plain
+/// integers: this is simulation state, deterministic and mergeable
+/// across cores with operator+=. Batch workloads emit no request
+/// marks, so their LatencyStats stay empty (count == 0).
+struct LatencyStats {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;  ///< total request cycles
+  std::array<std::uint64_t, obs::kQuantileBuckets> buckets{};
+
+  void record(std::uint64_t cycles) {
+    buckets[obs::log_bucket(cycles)] += 1;
+    count += 1;
+    sum += cycles;
+  }
+
+  bool empty() const { return count == 0; }
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Interpolated q-quantile in cycles (0.0 when empty).
+  double quantile(double q) const {
+    return obs::bucket_quantile(buckets, count, q);
+  }
+
+  LatencyStats& operator+=(const LatencyStats& o) {
+    count += o.count;
+    sum += o.sum;
+    for (std::size_t b = 0; b < buckets.size(); ++b) buckets[b] += o.buckets[b];
+    return *this;
+  }
+  bool operator==(const LatencyStats&) const = default;
 };
 
 /// Finds or inserts the bucket for `region` in a flat (region id,

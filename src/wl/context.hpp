@@ -152,6 +152,11 @@ class ThreadCtx {
   EmitCompute compute(std::uint64_t uops) { return EmitCompute{this, uops}; }
   EmitBarrier barrier() { return EmitBarrier{this}; }
   Emit region(std::uint32_t id) { return Emit{this, sim::Op::region(id)}; }
+  /// Request boundary for serving workloads: records the cycles since
+  /// the previous mark as one request latency.
+  Emit request_done() { return Emit{this, sim::Op::request_done()}; }
+  /// Moves the latency mark without recording (setup, batch gaps).
+  Emit request_reset() { return Emit{this, sim::Op::request_reset()}; }
 
  private:
   std::vector<sim::Op> buf_;

@@ -71,6 +71,7 @@ void register_all_workloads(Registry& r) {
   register_hpc(r);
   register_spec(r);
   register_mini(r);
+  register_serve(r);
 }
 
 }  // namespace coperf::wl

@@ -1,6 +1,6 @@
 // Workload registry: the 25 applications of Table I plus the two
-// mini-benchmarks, addressable by their paper names (e.g. "G-PR",
-// "fotonik3d", "Stream").
+// mini-benchmarks and the two latency-critical serving workloads,
+// addressable by name (e.g. "G-PR", "fotonik3d", "Stream", "kvserve").
 #pragma once
 
 #include <functional>
@@ -15,7 +15,7 @@ namespace coperf::wl {
 
 struct WorkloadInfo {
   std::string name;   ///< paper name, e.g. "G-CC"
-  std::string suite;  ///< "GeminiGraph", "PowerGraph", "CNTK", "PARSEC", "HPC", "SPEC CPU2017", "mini"
+  std::string suite;  ///< "GeminiGraph", "PowerGraph", "CNTK", "PARSEC", "HPC", "SPEC CPU2017", "mini", "serve"
   std::string description;
   /// SPEC-rate-style parallelism: N threads = N independent copies.
   bool rate_mode = false;

@@ -12,5 +12,6 @@ void register_cntk(Registry& r);        // CIFAR, MNIST, LSTM, ATIS
 void register_parsec(Registry& r);      // blackscholes, freqmine, swaptions, streamcluster
 void register_hpc(Registry& r);         // lulesh, IRSmk, AMG2006
 void register_spec(Registry& r);        // mcf, fotonik3d, deepsjeng, nab, xalancbmk, cactuBSSN
+void register_serve(Registry& r);       // kvserve, lsmserve (latency-critical)
 
 }  // namespace coperf::wl

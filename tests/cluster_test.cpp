@@ -454,5 +454,167 @@ TEST(ClusterIntegration, FleetEngineMatchesReferenceOnTinyTruth) {
   }
 }
 
+// ---------------------------------------------------------------------
+// SLO-aware tail-latency scheduling
+// ---------------------------------------------------------------------
+
+// Tail-aware fixture: throughput-wise the victim (type 1) co-locates
+// CHEAPLY with the hog (type 0) -- but its p99 explodes there (3.0x).
+// Next to the neutral type 2 throughput is worse (1.30x) while the
+// tail barely moves (1.10x). A throughput-only policy therefore walks
+// the LC victim straight into the tail trap; only a tail-aware one
+// escapes it.
+class TailTrapTruth final : public harness::InterferenceTruth {
+ public:
+  TailTrapTruth() {
+    m_.workloads = {"hog", "victim", "neutral"};
+    m_.solo_cycles = {1'000'000, 1'000'000, 1'000'000};
+    m_.normalized = {
+        {1.20, 1.05, 1.10},  // hog    | {hog victim neutral}
+        {1.05, 1.02, 1.30},  // victim: CHEAP next to the hog...
+        {1.10, 1.02, 1.05},  // neutral
+    };
+    tail_ = m_;
+    tail_.normalized[1] = {3.00, 1.05, 1.10};  // ...until you watch p99
+  }
+
+  std::size_t size() const override { return m_.size(); }
+  const harness::CorunMatrix& pairwise() override { return m_; }
+  const harness::CorunMatrix& tail_pairwise() const { return tail_; }
+
+  double slowdown(std::size_t type,
+                  const std::vector<std::size_t>& others) override {
+    return harness::corun_slowdown(m_, type, others);
+  }
+  double tail_slowdown(std::size_t type,
+                       const std::vector<std::size_t>& others) override {
+    return harness::corun_slowdown(tail_, type, others);
+  }
+
+ private:
+  harness::CorunMatrix m_;
+  harness::CorunMatrix tail_;
+};
+
+TEST(Slo, BatchTracesKeepSloAccountingZeroAndUnannotated) {
+  // No latency-critical job anywhere => the SLO machinery must be
+  // provably idle: zero counters, no lc_regret audit annotations, and
+  // (by construction in simulate()) zero extra truth queries.
+  TailTrapTruth truth;
+  TraceOptions topt;
+  topt.jobs = 200;
+  topt.seed = 4;
+  const auto trace = synthetic_trace(3, topt);
+  CostModelPolicy policy{"tp", truth.pairwise()};
+  const auto res = simulate({2, 2}, truth, trace, policy);
+  EXPECT_EQ(res.lc_jobs, 0u);
+  EXPECT_EQ(res.lc_billed_decisions, 0u);
+  EXPECT_EQ(res.slo_violation_decisions, 0u);
+  EXPECT_DOUBLE_EQ(res.mean_lc_tail_regret, 0.0);
+}
+
+TEST(Slo, SimulateValidatesSloFields) {
+  TailTrapTruth truth;
+  RandomPolicy policy{1};
+  std::vector<JobSpec> bad = {{0, 0, 0.0, 1.0, 0, -0.5}};
+  EXPECT_THROW(simulate({2, 2}, truth, bad, policy), std::invalid_argument);
+  // The reference loop is SLO-blind by design: LC traces are rejected,
+  // not silently billed throughput-only.
+  std::vector<JobSpec> lc = {{0, 1, 0.0, 1.0, 0, 1.5}};
+  EXPECT_THROW(simulate_reference({2, 2}, truth, lc, policy),
+               std::invalid_argument);
+  EXPECT_NO_THROW(simulate({2, 2}, truth, lc, policy));
+}
+
+TEST(Slo, ThroughputOnlyPolicyWalksIntoTheTailTrapAndIsBilled) {
+  TailTrapTruth truth;
+  // Hog arrives first; the LC victim (p99 budget 1.5x) arrives while
+  // both machines have a free slot: machine 0 holds the hog, machine 1
+  // holds a neutral. Throughput says the hog machine is CHEAPER
+  // (1.05x vs 1.30x), so the throughput-only policy co-locates and the
+  // simulator bills the blown budget as LC tail regret.
+  std::vector<JobSpec> trace = {{0, 0, 0.0, 10.0},
+                                {1, 2, 0.0, 10.0},
+                                {2, 1, 0.1, 10.0, 0, 1.5}};
+  CostModelPolicy tp{"tp", truth.pairwise()};
+  const auto res = simulate({2, 2}, truth, trace, tp);
+  EXPECT_EQ(res.lc_jobs, 1u);
+  EXPECT_EQ(res.lc_billed_decisions, res.billed_decisions);
+  EXPECT_EQ(res.outcomes[2].machine, res.outcomes[0].machine)
+      << "fixture broken: throughput model was supposed to prefer the hog";
+  EXPECT_GT(res.mean_lc_tail_regret, 0.0);
+  EXPECT_GT(res.slo_violation_decisions, 0u);
+
+  // Same scenario under the SLO-aware policy: it pays the throughput
+  // premium to protect the budget, and the billed LC regret is zero.
+  SloAwarePolicy slo{"slo", truth.pairwise(), truth.tail_pairwise()};
+  const auto sres = simulate({2, 2}, truth, trace, slo);
+  EXPECT_NE(sres.outcomes[2].machine, sres.outcomes[0].machine);
+  EXPECT_DOUBLE_EQ(sres.mean_lc_tail_regret, 0.0);
+  EXPECT_EQ(sres.slo_violation_decisions, 0u);
+  EXPECT_LT(sres.mean_lc_tail_regret + 1e-12, res.mean_lc_tail_regret);
+}
+
+TEST(Slo, ArrivingBeAggressorIsBilledAgainstResidentLcBudgets) {
+  TailTrapTruth truth;
+  // The LC victim is already running alone on machine 0 (budget 1.5),
+  // a neutral occupies machine 1. A best-effort hog arrives; placing
+  // it next to the victim blows the victim's budget even though the
+  // HOG itself has no SLO. Billing must price that.
+  std::vector<JobSpec> trace = {{0, 1, 0.0, 10.0, 0, 1.5},
+                                {1, 2, 0.0, 10.0},
+                                {2, 0, 0.1, 10.0}};
+  SloAwarePolicy slo{"slo", truth.pairwise(), truth.tail_pairwise()};
+  const auto sres = simulate({2, 2}, truth, trace, slo);
+  EXPECT_NE(sres.outcomes[2].machine, sres.outcomes[0].machine)
+      << "SLO-aware policy parked the hog next to the LC victim";
+  EXPECT_DOUBLE_EQ(sres.mean_lc_tail_regret, 0.0);
+
+  // A policy that forces the co-location is billed the violation:
+  // victim and hog pinned to machine 0, the neutral to machine 1.
+  struct PinToVictim final : PlacementPolicy {
+    std::string name() const override { return "pin"; }
+    using PlacementPolicy::place;
+    std::size_t place(const JobSpec& job, const ClusterView&) override {
+      return job.type == 2 ? 1u : 0u;
+    }
+  } pin;
+  const auto pres = simulate({2, 2}, truth, trace, pin);
+  EXPECT_EQ(pres.outcomes[2].machine, pres.outcomes[0].machine);
+  EXPECT_GT(pres.mean_lc_tail_regret, 0.0);
+  EXPECT_GT(pres.slo_violation_decisions, 0u);
+}
+
+TEST(Slo, BeOnlyDecisionsReduceToCostModelArithmetic) {
+  // With zero LC jobs in the trace, the SLO-aware policy must place
+  // byte-identically to CostModelPolicy over the same throughput
+  // matrix (the tail matrix never enters a BE-only decision).
+  TailTrapTruth truth;
+  TraceOptions topt;
+  topt.jobs = 400;
+  topt.seed = 9;
+  topt.mean_interarrival = 0.6;
+  const auto trace = synthetic_trace(3, topt);
+  CostModelPolicy tp{"p", truth.pairwise()};
+  SloAwarePolicy slo{"p", truth.pairwise(), truth.tail_pairwise()};
+  const auto a = simulate({3, 2}, truth, trace, tp);
+  const auto b = simulate({3, 2}, truth, trace, slo);
+  EXPECT_EQ(a.log.str({"hog", "victim", "neutral"}),
+            b.log.str({"hog", "victim", "neutral"}));
+  EXPECT_EQ(slo.forced_violations(), 0u);
+}
+
+TEST(Slo, PolicyValidatesItsMatrices) {
+  TailTrapTruth truth;
+  harness::CorunMatrix tiny;
+  tiny.workloads = {"a"};
+  tiny.solo_cycles = {1};
+  tiny.normalized = {{1.0}};
+  EXPECT_THROW(SloAwarePolicy("x", truth.pairwise(), tiny),
+               std::invalid_argument);
+  EXPECT_THROW(SloAwarePolicy("x", harness::CorunMatrix{}, tiny),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace coperf::cluster

@@ -19,7 +19,7 @@ Session tiny_session() {
 TEST(Session, ListsWorkloads) {
   const Session s = tiny_session();
   EXPECT_EQ(s.applications().size(), 25u);
-  EXPECT_EQ(s.all_workloads().size(), 27u);
+  EXPECT_EQ(s.all_workloads().size(), 29u);  // +2 minis +2 serving
 }
 
 TEST(Session, SoloAndPairEndToEnd) {

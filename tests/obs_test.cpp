@@ -18,6 +18,7 @@
 #include "harness/parallel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/stats.hpp"
 
 namespace coperf::obs {
 namespace {
@@ -307,6 +308,44 @@ TEST(MetricsTest, HistogramLogBuckets) {
   // p50 of 6 samples lands in bucket 2 -> upper bound 3.
   EXPECT_EQ(h.quantile_upper(0.5), 3u);
   EXPECT_EQ(h.quantile_upper(1.0), 2047u);
+}
+
+TEST(MetricsTest, HistogramInterpolatedQuantile) {
+  ObsSandbox sandbox;
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  h.record(5);
+  // A single sample: every quantile interpolates inside its bucket
+  // [4, 8), never outside it.
+  EXPECT_GE(h.quantile(0.0), 4.0);
+  EXPECT_LE(h.quantile(1.0), 8.0);
+  EXPECT_LE(h.quantile(0.25), h.quantile(0.75));
+  for (std::uint64_t v = 0; v < 100; ++v) h.record(1u << 20);
+  // Mass overwhelmingly in bucket 21 ([2^20, 2^21)): the median must
+  // land there, and the interpolated value within the bucket bounds.
+  EXPECT_GE(h.quantile(0.5), static_cast<double>(1u << 20));
+  EXPECT_LE(h.quantile(0.5), static_cast<double>(1u << 21));
+  // Never above the bucket-upper-bound answer.
+  EXPECT_LE(h.quantile(0.99),
+            static_cast<double>(h.quantile_upper(0.99)) + 1.0);
+  // Monotone in q.
+  EXPECT_LE(h.quantile(0.50), h.quantile(0.95));
+  EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+}
+
+TEST(MetricsTest, HistogramQuantileMatchesLatencyStatsMath) {
+  // Histogram::quantile and sim::LatencyStats::quantile share
+  // obs/quantile.hpp -- identical samples must give identical answers.
+  ObsSandbox sandbox;
+  Histogram h;
+  sim::LatencyStats l;
+  const std::uint64_t samples[] = {3, 17, 17, 250, 4096, 4097, 70000};
+  for (const std::uint64_t s : samples) {
+    h.record(s);
+    l.record(s);
+  }
+  for (const double q : {0.0, 0.5, 0.9, 0.95, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(h.quantile(q), l.quantile(q)) << "q=" << q;
 }
 
 TEST(MetricsTest, DisabledUpdatesAreDropped) {

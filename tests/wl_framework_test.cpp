@@ -259,10 +259,11 @@ TEST(StaticRange, CoversWithoutOverlap) {
 // Registry
 // ---------------------------------------------------------------------
 
-TEST(Registry, Has25ApplicationsPlus2Minis) {
+TEST(Registry, Has25ApplicationsPlus2MinisPlus2Serving) {
   auto& reg = Registry::instance();
   EXPECT_EQ(reg.applications().size(), 25u);
-  EXPECT_EQ(reg.all().size(), 27u);
+  EXPECT_EQ(reg.all().size(), 29u);
+  EXPECT_EQ(reg.suite("serve").size(), 2u);
 }
 
 TEST(Registry, PaperSuiteSizesMatchTableI) {
