@@ -13,8 +13,10 @@
 //      cache it must finish with ZERO new simulations.
 //
 // --json appends a machine-readable object for the CI perf artifact.
-// The deterministic StaticChunk schedule keeps the work partition
-// reproducible run to run.
+// The matrix phases run the work-stealing Dynamic schedule (the same
+// default ExperimentPlan::execute uses) so idle lanes pick up
+// straggler trials; trial results are bit-identical either way, only
+// the wall time moves.
 #include <chrono>
 #include <iostream>
 #include <sstream>
@@ -67,9 +69,18 @@ int main(int argc, char** argv) try {
   // ---- phase 1: solo characterization -------------------------------
   std::uint64_t sim_cycles = 0, instructions = 0, accesses = 0,
                 mem_bytes = 0;
+  struct SoloRow {
+    std::string name;
+    std::uint64_t cycles = 0;
+    double wall_s = 0.0;
+  };
+  std::vector<SoloRow> solo_rows;
+  solo_rows.reserve(subset.size());
   const double t0 = now_seconds();
   for (const auto& w : subset) {
+    const double tw = now_seconds();
     const harness::RunResult r = harness::run_solo(w, args.run_options());
+    solo_rows.push_back(SoloRow{w, r.stats.cycles, now_seconds() - tw});
     sim_cycles += r.stats.cycles;
     instructions += r.stats.instructions;
     accesses += r.stats.loads + r.stats.stores;
@@ -86,6 +97,16 @@ int main(int argc, char** argv) try {
             << " M simulated core-cycles/s, "
             << harness::Table::fmt(access_mb / solo_wall, 1)
             << " MB of demand accesses/s\n";
+  // Per-workload breakdown: which application dominates the solo wall
+  // time (and whose simulated-cycle rate regressed) at a glance.
+  for (const SoloRow& row : solo_rows)
+    std::cout << "  solo " << row.name << ": "
+              << harness::Table::fmt(row.wall_s, 3) << " s, "
+              << harness::Table::fmt(
+                     static_cast<double>(row.cycles) / 1e6 /
+                         (row.wall_s > 0.0 ? row.wall_s : 1e-9),
+                     1)
+              << " M cycles/s\n";
 
   // ---- phase 2: cold matrix build ------------------------------------
   harness::MatrixOptions mo;
@@ -93,7 +114,10 @@ int main(int argc, char** argv) try {
   mo.reps = args.effective_reps();
   mo.subset = subset;
   mo.host_threads = 0;  // pool default: hardware concurrency
-  mo.schedule = harness::ParallelSchedule::StaticChunk;
+  // Dynamic (work-stealing) keeps every lane busy until the queue is
+  // empty; StaticChunk's precomputed chunks leave lanes idle behind a
+  // straggler chunk. Cell results are bit-identical under both.
+  mo.schedule = harness::ParallelSchedule::Dynamic;
 
   cache.clear();  // phase 1's solos must not warm the "cold" build
   cache.reset_stats();
@@ -101,9 +125,19 @@ int main(int argc, char** argv) try {
   const harness::CorunMatrix cold = harness::corun_matrix(mo);
   const double cold_wall = now_seconds() - t1;
   const auto cold_stats = cache.stats();
+  // plan.utilization / pool.workers are written by the cold build's
+  // ExperimentPlan::execute (the warm build overwrites them with a
+  // degenerate all-cache-hit sample, so read them here).
+  const double cold_util =
+      Session::metrics().gauge("plan.utilization").value();
+  const double cold_lanes = Session::metrics().gauge("plan.lanes").value();
   std::cout << "matrix cold: " << subset.size() << "x" << subset.size()
             << " in " << harness::Table::fmt(cold_wall, 2) << " s ("
             << cold_stats.misses << " simulations)\n";
+  std::cout << "  utilization: "
+            << harness::Table::fmt(100.0 * cold_util, 1) << " % of "
+            << static_cast<unsigned>(cold_lanes)
+            << " host lane(s) busy simulating (plan.utilization)\n";
 
   // ---- phase 3: warm matrix build ------------------------------------
   cache.reset_stats();
@@ -152,8 +186,21 @@ int main(int argc, char** argv) try {
        << ", \"access_mb\": " << access_mb
        << ", \"access_mb_per_s\": " << access_mb / solo_wall
        << ", \"dram_bytes\": " << mem_bytes << "},\n"
+       << "  \"solo_breakdown\": [";
+    for (std::size_t i = 0; i < solo_rows.size(); ++i) {
+      const SoloRow& row = solo_rows[i];
+      js << (i == 0 ? "\n" : ",\n") << "    {\"workload\": \"" << row.name
+         << "\", \"wall_s\": " << row.wall_s
+         << ", \"sim_cycles\": " << row.cycles << ", \"sim_cycles_per_s\": "
+         << static_cast<double>(row.cycles) /
+                (row.wall_s > 0.0 ? row.wall_s : 1e-9)
+         << "}";
+    }
+    js << "\n  ],\n"
        << "  \"matrix_cold\": {\"wall_s\": " << cold_wall
-       << ", \"simulations\": " << cold_stats.misses << "},\n"
+       << ", \"simulations\": " << cold_stats.misses
+       << ", \"utilization\": " << cold_util
+       << ", \"lanes\": " << cold_lanes << "},\n"
        << "  \"matrix_warm\": {\"wall_s\": " << warm_wall
        << ", \"new_simulations\": " << warm_stats.misses
        << ", \"cache_hits\": " << warm_stats.hits

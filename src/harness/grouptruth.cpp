@@ -164,7 +164,7 @@ GroupTruth::PlanStats GroupTruth::measure(const std::vector<Key>& keys,
                                   .str()};
   obs::Registry& reg = obs::Registry::instance();
   reg.counter("grouptruth.measured_groups").add(pending.size());
-  const ResultSet rs = plan.execute(0, std::move(progress));
+  const ResultSet rs = plan.execute(cfg_.host_threads, std::move(progress));
   for (const std::size_t t : solo_pending)
     solos_.emplace(
         t, rs.solo(SoloSpec{cfg_.workloads[t], cfg_.member_threads, cfg_.reps}));
@@ -321,7 +321,7 @@ const RunResult& GroupTruth::solo(std::size_t type) {
     ExperimentPlan plan{cfg_.opt};
     const SoloSpec spec{cfg_.workloads[type], cfg_.member_threads, cfg_.reps};
     plan.add_solo(spec);
-    const ResultSet rs = plan.execute();
+    const ResultSet rs = plan.execute(cfg_.host_threads);
     it = solos_.emplace(type, rs.solo(spec)).first;
   }
   return it->second;

@@ -174,6 +174,11 @@ class GroupTruth final : public InterferenceTruth {
     /// Largest resident count measured as a true group; bigger groups
     /// fall back to additive composition of the pairwise projection.
     unsigned max_arity = 3;
+    /// Host worker lanes for the fan-out builds (prefetch_all and the
+    /// lazy per-query residues). 0 = hardware concurrency. The results
+    /// are bit-identical at any lane count -- each trial simulates an
+    /// isolated Machine -- so this only trades wall time for cores.
+    unsigned host_threads = 0;
   };
 
   explicit GroupTruth(Config cfg);

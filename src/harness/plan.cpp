@@ -4,6 +4,7 @@
 #include <atomic>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "harness/runcache.hpp"
 #include "obs/metrics.hpp"
@@ -141,6 +142,12 @@ ResultSet ExperimentPlan::execute(unsigned host_threads, Progress progress,
   obs::Gauge& inflight_gauge = reg.gauge("plan.inflight");
   obs::Trace& tr = obs::Trace::instance();
   std::atomic<int> inflight{0};
+  // Core-saturation accounting: total busy lane-time vs. plan wall
+  // time. utilization == busy / (wall * workers); 1.0 means every pool
+  // worker simulated for the whole build, lower means lanes idled on
+  // stragglers (StaticChunk tail) or queue gaps.
+  std::atomic<std::uint64_t> busy_us{0};
+  const double plan_t0 = obs::wall_us();
   {
     obs::Trace::Span plan_span{
         "plan.execute",
@@ -174,6 +181,8 @@ ResultSet ExperimentPlan::execute(unsigned host_threads, Progress progress,
           if (timed) {
             const double dur = obs::wall_us() - t0;
             trial_us.record(static_cast<std::uint64_t>(dur));
+            busy_us.fetch_add(static_cast<std::uint64_t>(dur),
+                              std::memory_order_relaxed);
             trials_done.add();
             if (traced) {
               tr.complete_host(
@@ -193,6 +202,20 @@ ResultSet ExperimentPlan::execute(unsigned host_threads, Progress progress,
   }
   // The pool spawns lazily inside parallel_for: sample it afterwards.
   reg.gauge("pool.workers").set(pool_size());
+  // Lane count mirrors parallel_for's participant computation (the
+  // caller is a lane too, so this is NOT pool_size(), which is 0 on
+  // the serial path and may exceed this job's cap after larger runs).
+  unsigned lanes =
+      host_threads != 0 ? host_threads : std::thread::hardware_concurrency();
+  if (lanes == 0) lanes = 4;
+  lanes = static_cast<unsigned>(
+      std::min<std::size_t>(lanes, std::max<std::size_t>(trials_.size(), 1)));
+  reg.gauge("plan.lanes").set(lanes);
+  const double plan_wall = obs::wall_us() - plan_t0;
+  if (plan_wall > 0.0)
+    reg.gauge("plan.utilization")
+        .set(static_cast<double>(busy_us.load(std::memory_order_relaxed)) /
+             (plan_wall * static_cast<double>(lanes)));
   ResultSet rs;
   rs.base_ = base_;
   rs.results_.reserve(trials_.size());

@@ -16,15 +16,30 @@
 // invalidate() reject lines of applications with no cached state
 // without scanning the set -- the inclusive-L3 back-invalidation
 // broadcast relies on this.
+//
+// All SoA arrays come from a bump Arena -- normally the owning
+// MemorySystem's, so one Machine costs a couple of block allocations
+// instead of ~130 vector round-trips per trial; standalone construction
+// (tests, tools) falls back to a private arena. The access/probe/fill
+// chain lives in this header: it is the simulator's innermost loop
+// (~170M calls per cold Tiny matrix) and must inline into the
+// hierarchy walk rather than bounce through a cross-TU call per level.
+//
+// Each set also carries a departure epoch, bumped whenever a valid
+// line LEAVES the set (eviction or invalidation). "Set epoch
+// unchanged since line was observed resident" is therefore an exact
+// proof the line is still resident -- the hierarchy's prefetch
+// request-combining queue uses this to skip provably redundant probe
+// walks with bit-identical semantics.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <string>
-#include <vector>
 
 #include "sim/addr.hpp"
+#include "sim/arena.hpp"
 #include "sim/config.hpp"
 #include "sim/stats.hpp"
 
@@ -49,8 +64,16 @@ class Cache {
   /// `hashed_index` selects the folded-XOR set mapping (use for the LLC).
   /// `track_private_copies` enables the per-line core mask consumed by
   /// the inclusive-L3 back-invalidation broadcast (LLC only).
+  /// SoA storage comes from `arena`; the arena must outlive the cache.
+  Cache(Arena& arena, std::string name, const CacheConfig& cfg,
+        bool hashed_index = false, bool track_private_copies = false);
+
+  /// Standalone construction (tests/tools): storage from a private arena.
   Cache(std::string name, const CacheConfig& cfg, bool hashed_index = false,
         bool track_private_copies = false);
+
+  Cache(Cache&&) noexcept = default;
+  Cache& operator=(Cache&&) noexcept = default;
 
   /// Demand lookup; updates LRU and statistics. Does NOT allocate on miss
   /// (the hierarchy calls fill() once the line arrives from below).
@@ -102,6 +125,15 @@ class Cache {
     if (track_private_) private_mask_[last_touch_] |= std::uint64_t{1} << core;
   }
 
+  /// Departure epoch of `line`'s set: bumped whenever a valid line
+  /// leaves the set. An unchanged epoch since `line` was observed
+  /// resident proves the line is still resident (nothing departed, so
+  /// nothing displaced it) -- the request-combining queue's exactness
+  /// argument.
+  std::uint32_t set_epoch_of(Addr line) const {
+    return set_epoch_[set_index(line)];
+  }
+
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CacheStats{}; }
 
@@ -136,10 +168,16 @@ class Cache {
 
   std::uint32_t find_way(std::uint64_t set, std::uint64_t base,
                          Addr line) const;
+
   std::uint32_t pick_victim(std::uint64_t base) const;
+
   CacheResult install(std::uint64_t set, std::uint32_t way, Addr line,
                       bool dirty, bool from_prefetch);
+
   InvalidateResult invalidate_slow(Addr line);
+
+  /// Sizes and carves every SoA array out of `arena` (shared ctor body).
+  void init_storage(Arena& arena);
 
   /// Counting presence filter: bucket == 0 proves the line is absent
   /// (counting, so removals keep it exact -- no false negatives ever).
@@ -166,24 +204,32 @@ class Cache {
   std::uint64_t sets_log2_;
   std::uint64_t lru_clock_ = 0;
 
+  /// Standalone-constructor storage; null when an external arena (the
+  /// MemorySystem's) backs the SoA arrays. Heap-held so Cache stays
+  /// movable with stable interior pointers.
+  std::unique_ptr<Arena> own_arena_;
+
   // SoA way state, row-major by set (index = set * assoc_ + way).
-  std::vector<Addr> tags_;
-  std::vector<std::uint64_t> lru_;
-  std::vector<std::uint8_t> flags_;
+  // Raw arena arrays: sized once in the constructor, never resized.
+  Addr* tags_ = nullptr;
+  std::uint64_t* lru_ = nullptr;
+  std::uint8_t* flags_ = nullptr;
   /// Per-line "cores that may hold a private copy" (tracking caches
   /// only). Sticky until the line leaves this cache.
   bool track_private_ = false;
-  std::vector<std::uint64_t> private_mask_;
+  std::uint64_t* private_mask_ = nullptr;
   /// Way index of the line most recently hit/probed/installed; the
   /// anchor for note_private().
   mutable std::uint64_t last_touch_ = 0;
   /// Sticky per-set summary of which applications may have lines there.
-  std::vector<std::uint8_t> set_app_mask_;
+  std::uint8_t* set_app_mask_ = nullptr;
   /// Per-set most-recently-touched way (global line index): checked
   /// first by find_way, which short-circuits the way scan for the
   /// repeat-touch patterns that dominate demand hits and the stride
   /// prefetchers' redundant-request probes.
-  mutable std::vector<std::uint32_t> mru_idx_;
+  std::uint32_t* mru_idx_ = nullptr;
+  /// Per-set departure counter (see set_epoch_of).
+  std::uint32_t* set_epoch_ = nullptr;
 
   /// Exact valid-line counters (total and per application).
   std::uint64_t valid_lines_ = 0;
@@ -194,7 +240,7 @@ class Cache {
   /// capacity so a cold lookup is rejected without a set scan. Byte
   /// counters keep the filter small enough to live in host caches; a
   /// saturated bucket stays pessimistic forever (still exact).
-  std::vector<std::uint8_t> presence_;
+  std::uint8_t* presence_ = nullptr;
   unsigned presence_shift_ = 64;
 
   /// One-entry negative lookup memo: when valid, `memo_line_` is known

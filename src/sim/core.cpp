@@ -262,7 +262,19 @@ void Core::run_until(Cycle until) {
         return;
       }
     }
-    exec(ops_[buf_pos_++]);
+    // Batched pump: drain the refilled block through the hierarchy in
+    // one tight loop with the cursor and bounds held in locals, instead
+    // of round-tripping through the outer refill check per op. Same
+    // op-at-a-time semantics (quantum boundary and barrier state are
+    // re-checked after every op), one block bookkeeping pass per block.
+    const Op* const ops = ops_;
+    const std::size_t len = buf_len_;
+    std::size_t pos = buf_pos_;
+    while (pos < len) {
+      exec(ops[pos++]);
+      if (state_ != CoreState::Runnable || local_ >= until) break;
+    }
+    buf_pos_ = pos;
     if (state_ == CoreState::Blocked) return;
   }
 }

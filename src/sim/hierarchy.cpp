@@ -1,170 +1,34 @@
 #include "sim/hierarchy.hpp"
 
-#include <bit>
+#include <string>
 
 namespace coperf::sim {
 
 MemorySystem::MemorySystem(const MachineConfig& cfg)
     : cfg_(cfg),
-      l3_(std::make_unique<Cache>("L3", cfg.l3, /*hashed_index=*/true,
-                                  /*track_private_copies=*/cfg.l3_inclusive)),
+      l3_(arena_, "L3", cfg.l3, /*hashed_index=*/true,
+          /*track_private_copies=*/cfg.l3_inclusive),
       channel_(cfg.bytes_per_cycle(), cfg.dram_latency_cycles) {
   cfg_.validate();
   l1_.reserve(cfg.num_cores);
   l2_.reserve(cfg.num_cores);
   banks_.reserve(cfg.num_cores);
   for (unsigned c = 0; c < cfg.num_cores; ++c) {
-    l1_.push_back(std::make_unique<Cache>("L1D#" + std::to_string(c), cfg.l1d));
-    l2_.push_back(std::make_unique<Cache>("L2#" + std::to_string(c), cfg.l2));
-    banks_.push_back(std::make_unique<PrefetcherBank>(
-        cfg.prefetch, cfg.streamer_degree, cfg.streamer_train));
+    l1_.emplace_back(arena_, "L1D#" + std::to_string(c), cfg.l1d);
+    l2_.emplace_back(arena_, "L2#" + std::to_string(c), cfg.l2);
+    banks_.emplace_back(cfg.prefetch, cfg.streamer_degree, cfg.streamer_train);
   }
   scratch_.reserve(16);
+  combine_.assign(std::size_t{cfg.num_cores} * kCombineWays, CombineEntry{});
+  combine_pos_.assign(cfg.num_cores, 0);
   core_next_free_.assign(cfg.num_cores, 0.0);
   core_cycles_per_line_ =
       static_cast<double>(kLineBytes) / (cfg.per_core_bw_gbs / cfg.freq_ghz);
 }
 
-Cycle MemorySystem::core_gate(unsigned core, Cycle now) {
-  double& nf = core_next_free_[core];
-  const double start = std::max(static_cast<double>(now), nf);
-  nf = start + core_cycles_per_line_;
-  return static_cast<Cycle>(start);
-}
-
 void MemorySystem::set_prefetch_mask(const PrefetchMask& m) {
   cfg_.prefetch = m;
-  for (auto& b : banks_) b->set_mask(m);
-}
-
-void MemorySystem::handle_l3_eviction(const CacheResult& r, Cycle now) {
-  if (!r.evicted) return;
-  bool dirty = r.evicted_dirty;
-  const AppId app = app_of(r.evicted_line << kLineBytesLog2);
-  if (cfg_.l3_inclusive) {
-    // Inclusion victims: the line must leave every private cache too.
-    // Instead of broadcasting to all 2*num_cores private caches, visit
-    // only the cores the L3 recorded as ever pulling this line
-    // (note_private). The mask is sticky-conservative: a listed core
-    // may have evicted the line long ago, and invalidate() rejects
-    // those with its O(1) presence filters.
-    std::uint64_t m = r.evicted_private_mask;
-    if (cfg_.num_cores < 64) m &= (std::uint64_t{1} << cfg_.num_cores) - 1;
-    while (m != 0) {
-      const auto c = static_cast<unsigned>(std::countr_zero(m));
-      m &= m - 1;
-      if (l1_[c]->invalidate(r.evicted_line).dirty) dirty = true;
-      if (l2_[c]->invalidate(r.evicted_line).dirty) dirty = true;
-    }
-  }
-  if (dirty) channel_.write(now, kLineBytes, app);
-}
-
-Cycle MemorySystem::fetch_to_l3(unsigned core, Addr line, Cycle now,
-                                bool from_prefetch) {
-  const Cycle issue = core_gate(core, now);
-  const Cycle done =
-      channel_.read(issue, kLineBytes, app_of(line << kLineBytesLog2));
-  const CacheResult fill = l3_->fill(line, /*dirty=*/false, from_prefetch);
-  handle_l3_eviction(fill, now);
-  return done;
-}
-
-void MemorySystem::fill_l2(unsigned core, Addr line, bool from_prefetch) {
-  const CacheResult fill = l2_[core]->fill(line, /*dirty=*/false, from_prefetch);
-  if (fill.evicted && fill.evicted_dirty) {
-    // Write the dirty L2 victim back into the (inclusive) L3; if the L3
-    // already dropped it, the traffic went to memory at that point.
-    // mark_dirty reports presence itself, so no probe double-walk.
-    (void)l3_->mark_dirty(fill.evicted_line);
-  }
-}
-
-void MemorySystem::fill_l1(unsigned core, Addr line, bool dirty, bool from_prefetch) {
-  const CacheResult fill = l1_[core]->fill(line, dirty, from_prefetch);
-  if (fill.evicted && fill.evicted_dirty) {
-    if (!l2_[core]->mark_dirty(fill.evicted_line))
-      (void)l3_->mark_dirty(fill.evicted_line);
-  }
-}
-
-void MemorySystem::run_prefetches_slow(unsigned core, Cycle now) {
-  // The probe -> fill chains below are effectively single set walks:
-  // a missing probe leaves a "known absent" memo in the cache, and the
-  // matching fill consumes it instead of re-running the lookup.
-  for (const PrefetchRequest& req : scratch_) {
-    // Demand priority: prefetch only into an idle core gate, and back
-    // off entirely when the socket is congested.
-    if (core_backlog(core, now) > kPrefetchDropCoreBacklog) break;
-    if (channel_.backlog(now) > kPrefetchDropBacklog) break;
-    if (req.level == PrefetchLevel::L1) {
-      if (l1_[core]->probe(req.line)) continue;
-      if (!l2_[core]->probe(req.line)) {
-        if (!l3_->probe(req.line)) (void)fetch_to_l3(core, req.line, now, true);
-        l3_->note_private(core);
-        fill_l2(core, req.line, true);
-      }
-      fill_l1(core, req.line, /*dirty=*/false, true);
-    } else {
-      if (l2_[core]->probe(req.line)) continue;
-      if (!l3_->probe(req.line)) (void)fetch_to_l3(core, req.line, now, true);
-      l3_->note_private(core);
-      fill_l2(core, req.line, true);
-    }
-    ++last_prefetches_;
-  }
-  scratch_.clear();
-}
-
-AccessOutcome MemorySystem::demand_access(unsigned core, Addr addr,
-                                          std::uint16_t pc, bool is_write,
-                                          Cycle now, bool allocate) {
-  AccessOutcome out;
-  const Addr line = line_of(addr);
-  scratch_.clear();
-
-  Cache& l1 = *l1_[core];
-  const CacheResult r1 = l1.access(line, is_write);
-  if (allocate) banks_[core]->on_l1_access(addr, pc, !r1.hit, scratch_);
-  if (r1.hit) {
-    out.level = HitLevel::L1;
-    out.latency = 0;
-    run_prefetches(core, now);
-    return out;
-  }
-
-  Cache& l2 = *l2_[core];
-  const CacheResult r2 = l2.access(line, /*is_write=*/false);
-  if (r2.hit) {
-    out.level = HitLevel::L2;
-    out.latency = cfg_.l2.latency_cycles;
-    fill_l1(core, line, is_write, false);
-    run_prefetches(core, now);
-    return out;
-  }
-
-  if (allocate) banks_[core]->on_l2_miss(line, scratch_);
-  out.l2_miss = true;
-
-  const CacheResult r3 = l3_->access(line, /*is_write=*/false);
-  if (r3.hit) {
-    out.level = HitLevel::L3;
-    out.latency = cfg_.l3.latency_cycles;
-  } else {
-    out.level = HitLevel::Mem;
-    // L3 tag check precedes DRAM; the per-core bucket gates issue.
-    const Cycle issued = core_gate(core, now + cfg_.l3.latency_cycles);
-    const Cycle done = channel_.read(issued, kLineBytes, app_of(addr));
-    out.latency = static_cast<std::uint32_t>(done - now);
-    if (!allocate) return out;  // non-temporal: no displacement anywhere
-    const CacheResult fill = l3_->fill(line, /*dirty=*/false, false);
-    handle_l3_eviction(fill, now);
-  }
-  l3_->note_private(core);  // the line is about to enter this core's L1/L2
-  fill_l2(core, line, false);
-  fill_l1(core, line, is_write, false);
-  run_prefetches(core, now);
-  return out;
+  for (auto& b : banks_) b.set_mask(m);
 }
 
 }  // namespace coperf::sim

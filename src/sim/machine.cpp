@@ -92,13 +92,14 @@ void Machine::handle_background_restarts() {
 
 void Machine::sample_bandwidth() {
   if (global_ < next_sample_) return;
-  BandwidthSample s;
+  // Build the sample in place: the old local-then-push_back danced the
+  // app_bytes vector through an extra allocate-and-copy per sample.
+  BandwidthSample& s = samples_.emplace_back();
   s.cycle = global_;
   s.total_bytes = mem_.channel().stats().total_bytes();
   s.app_bytes.resize(apps_.size());
   for (std::size_t i = 0; i < apps_.size(); ++i)
     s.app_bytes[i] = mem_.channel().bytes_of(apps_[i].id);
-  samples_.push_back(s);
   next_sample_ = global_ + sample_window_;
 }
 
@@ -131,8 +132,13 @@ void Machine::step_quantum() {
     any_finished |= cores_[c].state() == CoreState::Done;
   }
   global_ = qend;
-  handle_background_restarts();  // may re-arm Done background cores
-  if (any_finished) rebuild_active_cores();
+  // A background app can only become all-Done in a quantum where some
+  // core finished, so the restart scan is gated on that instead of
+  // walking every app every quantum.
+  if (any_finished) {
+    handle_background_restarts();  // may re-arm Done background cores
+    rebuild_active_cores();
+  }
   sample_bandwidth();
   check_progress();
 }

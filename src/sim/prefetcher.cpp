@@ -2,122 +2,12 @@
 
 namespace coperf::sim {
 
-namespace {
-constexpr unsigned kPageBytesLog2 = 12;  // 4 KiB prefetch training granule
-constexpr Addr page_of_line(Addr line) {
-  return line >> (kPageBytesLog2 - kLineBytesLog2);
-}
-}  // namespace
-
-PrefetcherBank::PrefetcherBank(const PrefetchMask& mask,
-                               std::uint32_t streamer_degree,
-                               std::uint32_t streamer_train)
-    : mask_(mask), degree_(streamer_degree), train_(streamer_train) {}
-
 void PrefetcherBank::reset() {
   ip_table_.fill(IpEntry{});
   streams_.fill(StreamEntry{});
   stream_clock_ = 0;
   issued_ = 0;
   last_l1_miss_line_ = ~Addr{0};
-}
-
-void PrefetcherBank::emit(Addr line, PrefetchLevel level,
-                          std::vector<PrefetchRequest>& out) {
-  out.push_back(PrefetchRequest{line, level});
-  ++issued_;
-}
-
-void PrefetcherBank::on_l1_access(Addr addr, std::uint16_t pc, bool miss,
-                                  std::vector<PrefetchRequest>& out) {
-  const Addr line = line_of(addr);
-
-  if (mask_.l1_ip_stride && pc != 0) {
-    IpEntry& e = ip_table_[pc % kIpTableSize];
-    if (e.valid && e.pc == pc) {
-      const std::int64_t stride =
-          static_cast<std::int64_t>(addr) - static_cast<std::int64_t>(e.last_addr);
-      if (stride != 0 && stride == e.stride) {
-        if (e.confidence < kIpConfidenceThreshold) ++e.confidence;
-      } else {
-        e.stride = stride;
-        e.confidence = 0;
-      }
-      e.last_addr = addr;
-      // Real DCU IP prefetchers only track short strides; large hops
-      // (e.g. Bandit's set-conflict pattern) must not be predictable.
-      constexpr std::int64_t kMaxStride = 2048;
-      if (e.confidence >= kIpConfidenceThreshold && e.stride != 0 &&
-          e.stride >= -kMaxStride && e.stride <= kMaxStride) {
-        // Fetch the line two strides ahead (prefetch distance 2).
-        const Addr target = static_cast<Addr>(
-            static_cast<std::int64_t>(addr) + 2 * e.stride);
-        if (line_of(target) != line) emit(line_of(target), PrefetchLevel::L1, out);
-      }
-    } else {
-      e = IpEntry{pc, addr, 0, 0, true};
-    }
-  }
-
-  if (miss) {
-    // The DCU next-line prefetcher has an ascending-pattern filter:
-    // random misses (graph gathers, hash probes) must not trigger it.
-    const bool ascending =
-        last_l1_miss_line_ != ~Addr{0} && line >= last_l1_miss_line_ &&
-        line - last_l1_miss_line_ <= 2;
-    if (mask_.l1_next_line && ascending)
-      emit(line + 1, PrefetchLevel::L1, out);
-    last_l1_miss_line_ = line;
-  }
-}
-
-void PrefetcherBank::on_l2_miss(Addr line, std::vector<PrefetchRequest>& out) {
-  if (mask_.l2_adjacent) {
-    // Fetch the buddy line of the 128-byte aligned pair.
-    emit(line ^ 1, PrefetchLevel::L2, out);
-  }
-
-  if (!mask_.l2_stream) return;
-
-  const Addr page = page_of_line(line);
-  StreamEntry* entry = nullptr;
-  StreamEntry* victim = &streams_.front();
-  for (StreamEntry& s : streams_) {
-    if (s.valid && s.page == page) {
-      entry = &s;
-      break;
-    }
-    // Prefer an invalid slot; otherwise evict the least recently used.
-    if (victim->valid && (!s.valid || s.lru < victim->lru)) victim = &s;
-  }
-  ++stream_clock_;
-  if (entry == nullptr) {
-    *victim = StreamEntry{page, line, 0, 1, stream_clock_, true};
-    return;
-  }
-  entry->lru = stream_clock_;
-  const std::int64_t delta =
-      static_cast<std::int64_t>(line) - static_cast<std::int64_t>(entry->last_line);
-  if (delta == 1 || delta == -1) {
-    const auto dir = static_cast<std::int8_t>(delta);
-    entry->run = (entry->direction == dir) ? static_cast<std::uint8_t>(entry->run + 1)
-                                           : std::uint8_t{1};
-    entry->direction = dir;
-    if (entry->run >= train_) {
-      for (std::uint32_t i = 1; i <= degree_; ++i) {
-        // Keep the arithmetic signed: dir(-1) * unsigned would wrap.
-        const std::int64_t target =
-            static_cast<std::int64_t>(line) +
-            static_cast<std::int64_t>(dir) * static_cast<std::int64_t>(i + 1);
-        if (target >= 0 && page_of_line(static_cast<Addr>(target)) == page)
-          emit(static_cast<Addr>(target), PrefetchLevel::L2, out);
-      }
-    }
-  } else {
-    entry->run = 1;
-    entry->direction = 0;
-  }
-  entry->last_line = line;
 }
 
 }  // namespace coperf::sim

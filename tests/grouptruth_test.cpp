@@ -179,6 +179,36 @@ TEST(GroupTruth, GroupsAboveTheMeasuredArityFallBackToComposition) {
 // End to end on measured truth: a 3-slot cluster billed at measured
 // 3-resident groups, zero pairwise fallbacks, and the group-truth
 // oracle with zero decision regret by construction.
+TEST(GroupTruth, PrefetchAllIsPoolSizeInvariant) {
+  // Every trial simulates an isolated Machine, so the truth table must
+  // be BIT-identical no matter how many host lanes sharded the build.
+  // Build the Tiny trio table serially, then again across a worker
+  // pool, clearing the run cache in between so both actually simulate.
+  CacheSandbox sandbox;
+  auto build = [](unsigned host_threads) {
+    RunCache::instance().clear();
+    RunCache::instance().reset_stats();
+    auto cfg = tiny_config({"Bandit", "swaptions", "Stream"});
+    cfg.host_threads = host_threads;
+    GroupTruth truth{cfg};
+    truth.prefetch_all(3);
+    return truth.observations();
+  };
+  const auto serial = build(1);
+  const auto pooled = build(4);
+  ASSERT_FALSE(serial.empty());
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].type, pooled[i].type) << "observation " << i;
+    EXPECT_EQ(serial[i].others, pooled[i].others) << "observation " << i;
+    // Exact double comparison on purpose: any lane-count dependence in
+    // the simulation would show up here as a ULP-level wobble.
+    EXPECT_EQ(serial[i].slowdown, pooled[i].slowdown) << "observation " << i;
+    EXPECT_EQ(serial[i].tail_slowdown, pooled[i].tail_slowdown)
+        << "observation " << i;
+  }
+}
+
 TEST(GroupTruth, ClusterOnMeasuredGroupTruthHasZeroFallbacksAndOracleRegret) {
   CacheSandbox sandbox;
   const std::vector<std::string> subset = {"Bandit", "swaptions"};

@@ -35,11 +35,17 @@ using Snapshot = std::vector<std::uint64_t>;
 
 const char* const kWorkloads[] = {"Stream", "Bandit",    "G-PR",
                                   "CIFAR",  "fotonik3d", "swaptions",
-                                  "IRSmk",  "blackscholes"};
+                                  "IRSmk",  "blackscholes", "G-BFS"};
 const std::pair<const char*, const char*> kPairs[] = {
     {"CIFAR", "fotonik3d"},  // victim-offender (paper Fig. 5 anchor)
     {"G-PR", "fotonik3d"},   // graph victim vs. streaming offender
     {"Stream", "Bandit"},    // offender vs. cache-resident harmony
+    // Prefetch-heavy pins for the request-combining queue: two trained
+    // streamers saturating the bank, and a gemini graph victim whose
+    // irregular gathers interleave with a streaming offender's
+    // degree-4 bursts. Captured from the pre-combining tree.
+    {"Stream", "Stream"},    // maximum streamer pressure, both sides
+    {"G-BFS", "Stream"},     // gemini pair: gather victim vs. streamer
 };
 
 void append(Snapshot& out, const sim::CoreStats& s) {
@@ -162,6 +168,10 @@ const std::vector<std::pair<std::string, Snapshot>> kGolden = {
      {200545ull, 802180ull, 989184ull, 2048ull, 4096ull, 6136ull,
       8ull, 4ull, 4ull, 0ull, 4ull, 256ull,
       0ull, 311ull, 1079ull, 9285ull, 1028ull}},
+    {"solo/G-BFS",
+     {240756ull, 963024ull, 595620ull, 300491ull, 10997ull, 278068ull,
+      33420ull, 12549ull, 20871ull, 15337ull, 5534ull, 354176ull,
+      0ull, 329192ull, 719466ull, 140975ull, 29585ull}},
     {"pair/CIFAR+fotonik3d",
      {8330514ull, 8330514ull, 7133645ull, 3ull, 33322056ull, 33984512ull,
       466944ull, 126976ull, 538382ull, 55538ull, 6255ull, 49283ull,
@@ -195,6 +205,28 @@ const std::vector<std::pair<std::string, Snapshot>> kGolden = {
       55712ull, 0ull, 59184ull, 107554ull, 32260ull, 33276ull,
       91485ull, 91444ull, 64443ull, 2474ull, 10484ull, 130346ull,
       0ull, 0ull, 102051ull, 10484ull, 62137ull, 6078ull}},
+    {"pair/Stream+Stream",
+     {2418154ull, 2418154ull, 0ull, 0ull, 7902393ull, 950272ull,
+      98304ull, 65536ull, 68805ull, 95035ull, 13458ull, 81577ull,
+      1ull, 81576ull, 5220864ull, 0ull, 7318421ull, 7888900ull,
+      0ull, 94728ull, 9674462ull, 670442ull, 68218ull, 50492ull,
+      15995ull, 102715ull, 4643ull, 98072ull, 2ull, 98070ull,
+      6276480ull, 0ull, 9270600ull, 9673814ull, 0ull, 23504ull,
+      3ull, 179646ull, 0ull, 0ull, 102926ull, 3ull,
+      70504ull, 0ull, 57145ull, 109377ull, 27655ull, 88373ull,
+      84829ull, 84800ull, 114497ull, 1537ull, 18101ull, 179649ull,
+      0ull, 0ull, 102930ull, 18101ull, 73476ull, 78708ull}},
+    {"pair/G-BFS+Stream",
+     {552260ull, 552260ull, 0ull, 0ull, 2209040ull, 595617ull,
+      300488ull, 10997ull, 276150ull, 35335ull, 12112ull, 23223ull,
+      13566ull, 9657ull, 618048ull, 0ull, 1417429ull, 1869387ull,
+      299632ull, 26798ull, 2210746ull, 270205ull, 24101ull, 23948ull,
+      22540ull, 25509ull, 3116ull, 22393ull, 0ull, 22393ull,
+      1433152ull, 0ull, 2045387ull, 2207357ull, 0ull, 30121ull,
+      13566ull, 32050ull, 0ull, 0ull, 40440ull, 2894ull,
+      15009ull, 0ull, 277520ull, 47069ull, 21170ull, 13775ull,
+      34307ull, 31095ull, 24954ull, 1570ull, 15228ull, 45616ull,
+      0ull, 0ull, 51925ull, 8368ull, 18565ull, 10108ull}},
 };
 // clang-format on
 
