@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sim.dir/bench/ablation_sim.cpp.o"
+  "CMakeFiles/bench_ablation_sim.dir/bench/ablation_sim.cpp.o.d"
+  "bench_ablation_sim"
+  "bench_ablation_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_regret.dir/bench/cluster_regret.cpp.o"
+  "CMakeFiles/bench_cluster_regret.dir/bench/cluster_regret.cpp.o.d"
+  "bench_cluster_regret"
+  "bench_cluster_regret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_regret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

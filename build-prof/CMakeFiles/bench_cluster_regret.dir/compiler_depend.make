@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_cluster_regret.
+# This may be replaced when dependencies are built.

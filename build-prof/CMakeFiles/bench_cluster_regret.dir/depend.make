@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cluster_regret.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_scalability.dir/bench/fig2_scalability.cpp.o"
+  "CMakeFiles/bench_fig2_scalability.dir/bench/fig2_scalability.cpp.o.d"
+  "bench_fig2_scalability"
+  "bench_fig2_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

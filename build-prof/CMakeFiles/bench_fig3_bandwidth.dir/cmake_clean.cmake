@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_bandwidth.dir/bench/fig3_bandwidth.cpp.o"
+  "CMakeFiles/bench_fig3_bandwidth.dir/bench/fig3_bandwidth.cpp.o.d"
+  "bench_fig3_bandwidth"
+  "bench_fig3_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3_bandwidth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_prefetch_sensitivity.dir/bench/fig4_prefetch_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig4_prefetch_sensitivity.dir/bench/fig4_prefetch_sensitivity.cpp.o.d"
+  "bench_fig4_prefetch_sensitivity"
+  "bench_fig4_prefetch_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_prefetch_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

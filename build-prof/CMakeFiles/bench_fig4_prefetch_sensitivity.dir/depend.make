@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_prefetch_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_corun_heatmap.dir/bench/fig5_corun_heatmap.cpp.o"
+  "CMakeFiles/bench_fig5_corun_heatmap.dir/bench/fig5_corun_heatmap.cpp.o.d"
+  "bench_fig5_corun_heatmap"
+  "bench_fig5_corun_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_corun_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_minibench_corun.dir/bench/fig6_minibench_corun.cpp.o"
+  "CMakeFiles/bench_fig6_minibench_corun.dir/bench/fig6_minibench_corun.cpp.o.d"
+  "bench_fig6_minibench_corun"
+  "bench_fig6_minibench_corun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_minibench_corun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6_minibench_corun.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_gemini_stream_metrics.dir/bench/fig7_gemini_stream_metrics.cpp.o"
+  "CMakeFiles/bench_fig7_gemini_stream_metrics.dir/bench/fig7_gemini_stream_metrics.cpp.o.d"
+  "bench_fig7_gemini_stream_metrics"
+  "bench_fig7_gemini_stream_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_gemini_stream_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_gemini_stream_metrics.
+# This may be replaced when dependencies are built.

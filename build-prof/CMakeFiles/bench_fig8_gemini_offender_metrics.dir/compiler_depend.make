@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig8_gemini_offender_metrics.
+# This may be replaced when dependencies are built.

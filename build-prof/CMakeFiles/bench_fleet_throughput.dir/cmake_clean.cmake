@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fleet_throughput.dir/bench/fleet_throughput.cpp.o"
+  "CMakeFiles/bench_fleet_throughput.dir/bench/fleet_throughput.cpp.o.d"
+  "bench_fleet_throughput"
+  "bench_fleet_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fleet_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

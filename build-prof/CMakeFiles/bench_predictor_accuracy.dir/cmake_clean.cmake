@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predictor_accuracy.dir/bench/predictor_accuracy.cpp.o"
+  "CMakeFiles/bench_predictor_accuracy.dir/bench/predictor_accuracy.cpp.o.d"
+  "bench_predictor_accuracy"
+  "bench_predictor_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predictor_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serving_tail.dir/bench/serving_tail.cpp.o"
+  "CMakeFiles/bench_serving_tail.dir/bench/serving_tail.cpp.o.d"
+  "bench_serving_tail"
+  "bench_serving_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serving_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_serving_tail.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_throughput.dir/bench/sim_throughput.cpp.o"
+  "CMakeFiles/bench_sim_throughput.dir/bench/sim_throughput.cpp.o.d"
+  "bench_sim_throughput"
+  "bench_sim_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

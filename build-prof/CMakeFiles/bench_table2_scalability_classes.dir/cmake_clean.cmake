@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_scalability_classes.dir/bench/table2_scalability_classes.cpp.o"
+  "CMakeFiles/bench_table2_scalability_classes.dir/bench/table2_scalability_classes.cpp.o.d"
+  "bench_table2_scalability_classes"
+  "bench_table2_scalability_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_scalability_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

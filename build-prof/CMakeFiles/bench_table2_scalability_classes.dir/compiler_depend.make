@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table2_scalability_classes.
+# This may be replaced when dependencies are built.

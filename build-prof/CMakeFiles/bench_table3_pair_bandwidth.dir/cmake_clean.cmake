@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_pair_bandwidth.dir/bench/table3_pair_bandwidth.cpp.o"
+  "CMakeFiles/bench_table3_pair_bandwidth.dir/bench/table3_pair_bandwidth.cpp.o.d"
+  "bench_table3_pair_bandwidth"
+  "bench_table3_pair_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_pair_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

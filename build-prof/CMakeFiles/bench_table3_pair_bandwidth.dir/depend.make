@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_pair_bandwidth.
+# This may be replaced when dependencies are built.

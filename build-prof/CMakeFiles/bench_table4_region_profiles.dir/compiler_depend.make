@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table4_region_profiles.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_fault_test.dir/tests/cluster_fault_test.cpp.o"
+  "CMakeFiles/cluster_fault_test.dir/tests/cluster_fault_test.cpp.o.d"
+  "cluster_fault_test"
+  "cluster_fault_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

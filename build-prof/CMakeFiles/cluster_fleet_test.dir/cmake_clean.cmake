@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_fleet_test.dir/tests/cluster_fleet_test.cpp.o"
+  "CMakeFiles/cluster_fleet_test.dir/tests/cluster_fleet_test.cpp.o.d"
+  "cluster_fleet_test"
+  "cluster_fleet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_fleet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

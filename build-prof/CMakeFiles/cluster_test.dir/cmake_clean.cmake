@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_test.dir/tests/cluster_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/tests/cluster_test.cpp.o.d"
+  "cluster_test"
+  "cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cluster_test.
+# This may be replaced when dependencies are built.

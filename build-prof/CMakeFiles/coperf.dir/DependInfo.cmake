@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "CMakeFiles/coperf.dir/src/cluster/cluster.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/placement.cpp" "CMakeFiles/coperf.dir/src/cluster/placement.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/cluster/placement.cpp.o.d"
+  "/root/repo/src/cluster/trace.cpp" "CMakeFiles/coperf.dir/src/cluster/trace.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/cluster/trace.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "CMakeFiles/coperf.dir/src/core/session.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/core/session.cpp.o.d"
+  "/root/repo/src/harness/bubble.cpp" "CMakeFiles/coperf.dir/src/harness/bubble.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/harness/bubble.cpp.o.d"
+  "/root/repo/src/harness/classify.cpp" "CMakeFiles/coperf.dir/src/harness/classify.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/harness/classify.cpp.o.d"
+  "/root/repo/src/harness/group.cpp" "CMakeFiles/coperf.dir/src/harness/group.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/harness/group.cpp.o.d"
+  "/root/repo/src/harness/grouptruth.cpp" "CMakeFiles/coperf.dir/src/harness/grouptruth.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/harness/grouptruth.cpp.o.d"
+  "/root/repo/src/harness/manifest.cpp" "CMakeFiles/coperf.dir/src/harness/manifest.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/harness/manifest.cpp.o.d"
+  "/root/repo/src/harness/matrix.cpp" "CMakeFiles/coperf.dir/src/harness/matrix.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/harness/matrix.cpp.o.d"
+  "/root/repo/src/harness/parallel.cpp" "CMakeFiles/coperf.dir/src/harness/parallel.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/harness/parallel.cpp.o.d"
+  "/root/repo/src/harness/plan.cpp" "CMakeFiles/coperf.dir/src/harness/plan.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/harness/plan.cpp.o.d"
+  "/root/repo/src/harness/prefetch_study.cpp" "CMakeFiles/coperf.dir/src/harness/prefetch_study.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/harness/prefetch_study.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "CMakeFiles/coperf.dir/src/harness/report.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/harness/report.cpp.o.d"
+  "/root/repo/src/harness/runcache.cpp" "CMakeFiles/coperf.dir/src/harness/runcache.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/harness/runcache.cpp.o.d"
+  "/root/repo/src/harness/runner.cpp" "CMakeFiles/coperf.dir/src/harness/runner.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/harness/runner.cpp.o.d"
+  "/root/repo/src/harness/scalability.cpp" "CMakeFiles/coperf.dir/src/harness/scalability.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/harness/scalability.cpp.o.d"
+  "/root/repo/src/harness/scheduler.cpp" "CMakeFiles/coperf.dir/src/harness/scheduler.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/harness/scheduler.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "CMakeFiles/coperf.dir/src/obs/metrics.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "CMakeFiles/coperf.dir/src/obs/trace.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/obs/trace.cpp.o.d"
+  "/root/repo/src/perf/pcm.cpp" "CMakeFiles/coperf.dir/src/perf/pcm.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/perf/pcm.cpp.o.d"
+  "/root/repo/src/perf/profiler.cpp" "CMakeFiles/coperf.dir/src/perf/profiler.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/perf/profiler.cpp.o.d"
+  "/root/repo/src/predict/deconvolve.cpp" "CMakeFiles/coperf.dir/src/predict/deconvolve.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/predict/deconvolve.cpp.o.d"
+  "/root/repo/src/predict/eval.cpp" "CMakeFiles/coperf.dir/src/predict/eval.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/predict/eval.cpp.o.d"
+  "/root/repo/src/predict/model.cpp" "CMakeFiles/coperf.dir/src/predict/model.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/predict/model.cpp.o.d"
+  "/root/repo/src/predict/predicted_matrix.cpp" "CMakeFiles/coperf.dir/src/predict/predicted_matrix.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/predict/predicted_matrix.cpp.o.d"
+  "/root/repo/src/predict/signature.cpp" "CMakeFiles/coperf.dir/src/predict/signature.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/predict/signature.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "CMakeFiles/coperf.dir/src/sim/cache.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/core.cpp" "CMakeFiles/coperf.dir/src/sim/core.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/sim/core.cpp.o.d"
+  "/root/repo/src/sim/hierarchy.cpp" "CMakeFiles/coperf.dir/src/sim/hierarchy.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/sim/hierarchy.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "CMakeFiles/coperf.dir/src/sim/machine.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/prefetcher.cpp" "CMakeFiles/coperf.dir/src/sim/prefetcher.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/sim/prefetcher.cpp.o.d"
+  "/root/repo/src/wl/dl/cntk.cpp" "CMakeFiles/coperf.dir/src/wl/dl/cntk.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/wl/dl/cntk.cpp.o.d"
+  "/root/repo/src/wl/graph/csr.cpp" "CMakeFiles/coperf.dir/src/wl/graph/csr.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/wl/graph/csr.cpp.o.d"
+  "/root/repo/src/wl/graph/gemini.cpp" "CMakeFiles/coperf.dir/src/wl/graph/gemini.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/wl/graph/gemini.cpp.o.d"
+  "/root/repo/src/wl/graph/powergraph.cpp" "CMakeFiles/coperf.dir/src/wl/graph/powergraph.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/wl/graph/powergraph.cpp.o.d"
+  "/root/repo/src/wl/hpc/hpc.cpp" "CMakeFiles/coperf.dir/src/wl/hpc/hpc.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/wl/hpc/hpc.cpp.o.d"
+  "/root/repo/src/wl/mini/mini.cpp" "CMakeFiles/coperf.dir/src/wl/mini/mini.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/wl/mini/mini.cpp.o.d"
+  "/root/repo/src/wl/parsec/parsec.cpp" "CMakeFiles/coperf.dir/src/wl/parsec/parsec.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/wl/parsec/parsec.cpp.o.d"
+  "/root/repo/src/wl/registry.cpp" "CMakeFiles/coperf.dir/src/wl/registry.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/wl/registry.cpp.o.d"
+  "/root/repo/src/wl/serve/serve.cpp" "CMakeFiles/coperf.dir/src/wl/serve/serve.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/wl/serve/serve.cpp.o.d"
+  "/root/repo/src/wl/spec/spec.cpp" "CMakeFiles/coperf.dir/src/wl/spec/spec.cpp.o" "gcc" "CMakeFiles/coperf.dir/src/wl/spec/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_characterize_suite.dir/examples/characterize_suite.cpp.o"
+  "CMakeFiles/example_characterize_suite.dir/examples/characterize_suite.cpp.o.d"
+  "example_characterize_suite"
+  "example_characterize_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_characterize_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

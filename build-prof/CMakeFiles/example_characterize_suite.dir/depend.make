@@ -1,0 +1,2 @@
+# Empty dependencies file for example_characterize_suite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_corun_group.dir/examples/corun_group.cpp.o"
+  "CMakeFiles/example_corun_group.dir/examples/corun_group.cpp.o.d"
+  "example_corun_group"
+  "example_corun_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_corun_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

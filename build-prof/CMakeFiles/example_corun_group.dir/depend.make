@@ -1,0 +1,2 @@
+# Empty dependencies file for example_corun_group.
+# This may be replaced when dependencies are built.

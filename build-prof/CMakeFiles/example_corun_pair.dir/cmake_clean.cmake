@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_corun_pair.dir/examples/corun_pair.cpp.o"
+  "CMakeFiles/example_corun_pair.dir/examples/corun_pair.cpp.o.d"
+  "example_corun_pair"
+  "example_corun_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_corun_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_predict_matrix.dir/examples/predict_matrix.cpp.o"
+  "CMakeFiles/example_predict_matrix.dir/examples/predict_matrix.cpp.o.d"
+  "example_predict_matrix"
+  "example_predict_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_predict_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_predict_matrix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_provenance_study.dir/examples/provenance_study.cpp.o"
+  "CMakeFiles/example_provenance_study.dir/examples/provenance_study.cpp.o.d"
+  "example_provenance_study"
+  "example_provenance_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_provenance_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_provenance_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_quickstart.dir/examples/quickstart.cpp.o"
+  "CMakeFiles/example_quickstart.dir/examples/quickstart.cpp.o.d"
+  "example_quickstart"
+  "example_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

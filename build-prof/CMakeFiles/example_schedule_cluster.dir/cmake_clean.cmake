@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_schedule_cluster.dir/examples/schedule_cluster.cpp.o"
+  "CMakeFiles/example_schedule_cluster.dir/examples/schedule_cluster.cpp.o.d"
+  "example_schedule_cluster"
+  "example_schedule_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_schedule_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions_test.dir/tests/extensions_test.cpp.o"
+  "CMakeFiles/extensions_test.dir/tests/extensions_test.cpp.o.d"
+  "extensions_test"
+  "extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_test.dir/tests/group_test.cpp.o"
+  "CMakeFiles/group_test.dir/tests/group_test.cpp.o.d"
+  "group_test"
+  "group_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

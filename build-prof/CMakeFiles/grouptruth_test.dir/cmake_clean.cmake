@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouptruth_test.dir/tests/grouptruth_test.cpp.o"
+  "CMakeFiles/grouptruth_test.dir/tests/grouptruth_test.cpp.o.d"
+  "grouptruth_test"
+  "grouptruth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouptruth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

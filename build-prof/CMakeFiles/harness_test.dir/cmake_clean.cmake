@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_test.dir/tests/harness_test.cpp.o"
+  "CMakeFiles/harness_test.dir/tests/harness_test.cpp.o.d"
+  "harness_test"
+  "harness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

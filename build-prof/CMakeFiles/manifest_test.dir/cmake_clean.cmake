@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manifest_test.dir/tests/manifest_test.cpp.o"
+  "CMakeFiles/manifest_test.dir/tests/manifest_test.cpp.o.d"
+  "manifest_test"
+  "manifest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manifest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_test.dir/tests/obs_test.cpp.o"
+  "CMakeFiles/obs_test.dir/tests/obs_test.cpp.o.d"
+  "obs_test"
+  "obs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_test.dir/tests/perf_test.cpp.o"
+  "CMakeFiles/perf_test.dir/tests/perf_test.cpp.o.d"
+  "perf_test"
+  "perf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

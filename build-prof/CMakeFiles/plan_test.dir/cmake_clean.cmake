@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_test.dir/tests/plan_test.cpp.o"
+  "CMakeFiles/plan_test.dir/tests/plan_test.cpp.o.d"
+  "plan_test"
+  "plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_test.dir/tests/predict_test.cpp.o"
+  "CMakeFiles/predict_test.dir/tests/predict_test.cpp.o.d"
+  "predict_test"
+  "predict_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

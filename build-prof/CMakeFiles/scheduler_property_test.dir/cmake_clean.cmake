@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_property_test.dir/tests/scheduler_property_test.cpp.o"
+  "CMakeFiles/scheduler_property_test.dir/tests/scheduler_property_test.cpp.o.d"
+  "scheduler_property_test"
+  "scheduler_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

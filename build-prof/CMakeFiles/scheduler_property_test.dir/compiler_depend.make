@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scheduler_property_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_latency_test.dir/tests/serve_latency_test.cpp.o"
+  "CMakeFiles/serve_latency_test.dir/tests/serve_latency_test.cpp.o.d"
+  "serve_latency_test"
+  "serve_latency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

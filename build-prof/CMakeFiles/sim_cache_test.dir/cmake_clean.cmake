@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_cache_test.dir/tests/sim_cache_test.cpp.o"
+  "CMakeFiles/sim_cache_test.dir/tests/sim_cache_test.cpp.o.d"
+  "sim_cache_test"
+  "sim_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_equivalence_test.dir/tests/sim_equivalence_test.cpp.o"
+  "CMakeFiles/sim_equivalence_test.dir/tests/sim_equivalence_test.cpp.o.d"
+  "sim_equivalence_test"
+  "sim_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

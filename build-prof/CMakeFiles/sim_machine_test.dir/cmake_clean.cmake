@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_machine_test.dir/tests/sim_machine_test.cpp.o"
+  "CMakeFiles/sim_machine_test.dir/tests/sim_machine_test.cpp.o.d"
+  "sim_machine_test"
+  "sim_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

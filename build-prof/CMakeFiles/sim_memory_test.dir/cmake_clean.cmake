@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_memory_test.dir/tests/sim_memory_test.cpp.o"
+  "CMakeFiles/sim_memory_test.dir/tests/sim_memory_test.cpp.o.d"
+  "sim_memory_test"
+  "sim_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_prefetcher_test.dir/tests/sim_prefetcher_test.cpp.o"
+  "CMakeFiles/sim_prefetcher_test.dir/tests/sim_prefetcher_test.cpp.o.d"
+  "sim_prefetcher_test"
+  "sim_prefetcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_prefetcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

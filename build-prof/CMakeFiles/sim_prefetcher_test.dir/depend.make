@@ -1,0 +1,2 @@
+# Empty dependencies file for sim_prefetcher_test.
+# This may be replaced when dependencies are built.

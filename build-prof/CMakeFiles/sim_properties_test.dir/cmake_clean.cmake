@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_properties_test.dir/tests/sim_properties_test.cpp.o"
+  "CMakeFiles/sim_properties_test.dir/tests/sim_properties_test.cpp.o.d"
+  "sim_properties_test"
+  "sim_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

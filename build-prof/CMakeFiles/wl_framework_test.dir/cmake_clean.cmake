@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_framework_test.dir/tests/wl_framework_test.cpp.o"
+  "CMakeFiles/wl_framework_test.dir/tests/wl_framework_test.cpp.o.d"
+  "wl_framework_test"
+  "wl_framework_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_framework_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

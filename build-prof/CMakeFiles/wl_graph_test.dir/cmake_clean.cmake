@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_graph_test.dir/tests/wl_graph_test.cpp.o"
+  "CMakeFiles/wl_graph_test.dir/tests/wl_graph_test.cpp.o.d"
+  "wl_graph_test"
+  "wl_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

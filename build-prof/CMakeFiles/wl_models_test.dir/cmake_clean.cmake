@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_models_test.dir/tests/wl_models_test.cpp.o"
+  "CMakeFiles/wl_models_test.dir/tests/wl_models_test.cpp.o.d"
+  "wl_models_test"
+  "wl_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wl_models_test.
+# This may be replaced when dependencies are built.

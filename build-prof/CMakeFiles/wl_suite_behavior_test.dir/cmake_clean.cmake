@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_suite_behavior_test.dir/tests/wl_suite_behavior_test.cpp.o"
+  "CMakeFiles/wl_suite_behavior_test.dir/tests/wl_suite_behavior_test.cpp.o.d"
+  "wl_suite_behavior_test"
+  "wl_suite_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_suite_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wl_suite_behavior_test.
+# This may be replaced when dependencies are built.
